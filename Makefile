@@ -1,0 +1,35 @@
+# Convenience targets for the CSE reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean golden
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+report:
+	$(PYTHON) benchmarks/generate_report.py
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+golden:
+	rm -f benchmarks/expected/results.json
+	$(PYTHON) -m pytest benchmarks/test_golden_results.py --benchmark-only -q
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
+	       benchmarks/output .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_*`` file here regenerates one paper artifact (table or
+figure).  The figure data functions in :mod:`repro.analysis.experiments`
+cache heavyweight intermediates in-process, so the files are cheap to run
+together (``pytest benchmarks/ --benchmark-only``) and expensive apart —
+run them together.
+
+Each bench writes its rendered table to ``benchmarks/output/<name>.txt``
+so results survive the pytest run (EXPERIMENTS.md is generated from the
+same data via ``benchmarks/generate_report.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Figure regeneration is deterministic and cached; repeated rounds would
+    only time the cache.  ``pedantic(rounds=1, iterations=1)`` records the
+    true single-shot cost.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,121 @@
+"""Ablation: the three global re-execution policies (Section IV-C).
+
+The paper describes basic, last-concrete and opportunistic re-evaluation
+and builds hardware for the third.  This bench measures the serial repair
+cost of each policy in two regimes:
+
+- **partial divergence** — a machine where some segments collapse to a
+  concrete state and others don't.  Here the smarter policies shine:
+  last-concrete skips the prefix, and opportunistic re-evaluation skips
+  *between* concrete points too.
+- **total divergence** — a pure permutation FSM where nothing ever
+  converges.  All policies degenerate to re-running every segment;
+  opportunistic additionally pays its (cheap) re-evaluation cycles, an
+  honest measurement of the worst case the paper does not discuss.
+
+All policies must agree with the sequential oracle in both regimes.
+"""
+
+import statistics
+
+import numpy as np
+from conftest import once, write_artifact
+
+from repro.analysis.report import render_table
+from repro.automata.builders import cycle_dfa
+from repro.automata.dfa import Dfa
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.core.reexec import POLICIES
+
+
+def partial_divergence_dfa():
+    """Symbol 0 permutes (diverges); symbol 1 collapses everything."""
+    n = 8
+    table = np.zeros((2, n), dtype=np.int32)
+    table[0] = (np.arange(n) + 1) % n
+    table[1] = 0
+    return Dfa(table, 0, [n - 1])
+
+
+def _measure(dfa, words, n_segments=8):
+    rows = []
+    finals = {}
+    partition = StatePartition.trivial(dfa.num_states)
+    for policy in POLICIES:
+        engine = CseEngine(dfa, n_segments=n_segments, partition=partition,
+                           policy=policy)
+        results = [engine.run(w) for w in words]
+        finals[policy] = [r.final_state for r in results]
+        rows.append(
+            {
+                "Policy": policy,
+                "MeanReexecCycles": statistics.fmean(
+                    r.reexec_cycles for r in results
+                ),
+                "MeanReexecSegments": statistics.fmean(
+                    r.reexec_segments for r in results
+                ),
+                "MeanSpeedup": statistics.fmean(r.speedup for r in results),
+            }
+        )
+    return rows, finals
+
+
+def run_policies():
+    rng = np.random.default_rng(42)
+    # partial divergence: mostly permuting symbols with occasional collapse
+    partial_words = [
+        (rng.random(640) < 0.005).astype(np.int64) for _ in range(6)
+    ]
+    partial = _measure(partial_divergence_dfa(), partial_words)
+    # total divergence: permutation-only machine
+    total_dfa = cycle_dfa(8, alphabet_size=4)
+    total_words = [rng.integers(0, 4, size=640) for _ in range(6)]
+    total = _measure(total_dfa, total_words)
+    return partial, total
+
+
+def test_ablation_reexec_policies(benchmark):
+    (partial_rows, partial_finals), (total_rows, total_finals) = once(
+        benchmark, run_policies
+    )
+    text = (
+        "partial divergence\n" + render_table(partial_rows)
+        + "\n\ntotal divergence\n" + render_table(total_rows)
+    )
+    print("\n" + text)
+    write_artifact("ablation_reexec_policies", text)
+
+    # all policies agree functionally in both regimes
+    for finals in (partial_finals, total_finals):
+        assert finals["basic"] == finals["last_concrete"] == finals["opportunistic"]
+
+    partial = {r["Policy"]: r for r in partial_rows}
+    total = {r["Policy"]: r for r in total_rows}
+
+    # partial divergence: the policy hierarchy pays off
+    assert (
+        partial["last_concrete"]["MeanReexecCycles"]
+        <= partial["basic"]["MeanReexecCycles"]
+    )
+    assert (
+        partial["opportunistic"]["MeanReexecCycles"]
+        < partial["basic"]["MeanReexecCycles"]
+    )
+    assert (
+        partial["opportunistic"]["MeanSpeedup"]
+        >= partial["basic"]["MeanSpeedup"]
+    )
+
+    # total divergence: every policy re-runs everything; opportunistic's
+    # re-evaluation overhead is bounded by reeval_cycles_per_cs * n_cs per
+    # repaired segment (a few percent here)
+    assert total["last_concrete"]["MeanReexecCycles"] == (
+        total["basic"]["MeanReexecCycles"]
+    )
+    overhead = (
+        total["opportunistic"]["MeanReexecCycles"]
+        - total["basic"]["MeanReexecCycles"]
+    )
+    assert 0 <= overhead <= 0.10 * total["basic"]["MeanReexecCycles"]

@@ -1,0 +1,60 @@
+"""Ablation: CSE speedup versus segment count.
+
+The paper fixes one AP rank (16 half-cores) and divides it per Table I.
+This bench sweeps the segment count for a fixed benchmark to show the
+scaling behaviour: speedup tracks the segment count while segments remain
+long enough for convergence, then flattens as per-segment divergence and
+composition overhead grow.
+"""
+
+import statistics
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import cse_partition_for
+from repro.analysis.report import render_table
+from repro.core.engine import CseEngine
+from repro.workloads.suite import load_benchmark
+
+SEGMENTS = (2, 4, 8, 16, 32)
+
+
+def run_sweep():
+    instance = load_benchmark("ExactMatch")
+    rows = []
+    for n_segments in SEGMENTS:
+        results = []
+        for unit in instance.units:
+            engine = CseEngine(
+                unit.dfa,
+                n_segments=n_segments,
+                partition=cse_partition_for("ExactMatch", unit.fsm_index,
+                                            "table1"),
+            )
+            for string in unit.strings:
+                result = engine.run(string)
+                assert result.final_state == unit.dfa.run(string)
+                results.append(result)
+        rows.append(
+            {
+                "Segments": n_segments,
+                "Speedup": statistics.fmean(r.speedup for r in results),
+                "Efficiency": statistics.fmean(
+                    r.speedup / n_segments for r in results
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_segments(benchmark):
+    rows = once(benchmark, run_sweep)
+    text = render_table(rows)
+    print("\n" + text)
+    write_artifact("ablation_segments", text)
+
+    speedups = [r["Speedup"] for r in rows]
+    # more segments never slow the engine down on this easy benchmark
+    assert all(b >= a * 0.95 for a, b in zip(speedups, speedups[1:]))
+    # and the small-segment regime is near-perfectly efficient
+    assert rows[0]["Efficiency"] > 0.9

@@ -1,0 +1,40 @@
+"""Figure 15: LBE speedup as a function of lookback length L.
+
+Paper shape: lookback is very beneficial for some benchmarks (Brill gains
+5x+), but the benefit saturates — L = 100 brings diminishing returns or
+slowdown because the lookback pass itself costs L cycles per segment while
+R0 cannot shrink below 1.
+"""
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import fig15_lbe_lookback
+from repro.analysis.report import render_grouped
+from repro.workloads.suite import benchmark_names
+
+LENGTHS = (10, 20, 30, 100)
+
+
+def test_fig15_lbe_lookback(benchmark):
+    data = once(benchmark, lambda: fig15_lbe_lookback(lengths=LENGTHS))
+    printable = {
+        name: {str(length): value for length, value in row.items()}
+        for name, row in data.items()
+    }
+    text = render_grouped(printable, columns=[str(l) for l in LENGTHS])
+    print("\n" + text)
+    write_artifact("fig15_lbe_lookback", text)
+
+    assert set(data) == set(benchmark_names())
+    for name, row in data.items():
+        assert set(row) == set(LENGTHS)
+        assert all(v > 0 for v in row.values())
+
+    # diminishing returns: for most benchmarks the best L is not 100
+    best_not_longest = sum(
+        1 for row in data.values() if max(row, key=row.get) != 100
+    )
+    assert best_not_longest >= 7
+
+    # lookback helps somewhere: some benchmark gains from 10 -> 30
+    assert any(row[30] > row[10] for row in data.values())

@@ -1,0 +1,28 @@
+"""Figure 16: CSE's R0 (#convergence sets) per merge strategy.
+
+Paper shape: merging can only refine partitions, so R0 grows monotonically
+from MFP-only through 99% to 100%; for most benchmarks the growth is mild,
+but at least one benchmark pays noticeably for the 100% merge (the paper's
+Protomata explodes to 61 subsets, which is why Table I picks 99% there).
+"""
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import MERGE_STRATEGIES, fig16_cse_r0_by_merge
+from repro.analysis.report import render_grouped
+from repro.workloads.suite import benchmark_names
+
+
+def test_fig16_cse_r0_merge(benchmark):
+    data = once(benchmark, fig16_cse_r0_by_merge)
+    text = render_grouped(data, columns=list(MERGE_STRATEGIES))
+    print("\n" + text)
+    write_artifact("fig16_cse_r0_merge", text)
+
+    assert set(data) == set(benchmark_names())
+    for name, row in data.items():
+        assert row["baseline"] <= row["99%"] <= row["100%"], name
+        assert row["baseline"] >= 1
+
+    # the 100% merge costs extra sets somewhere
+    assert any(row["100%"] > row["99%"] for row in data.values())

@@ -1,0 +1,35 @@
+"""Figure 17: CSE speedup per merge strategy.
+
+Paper shape: merged partitions beat the raw MFP on average (fewer
+re-executions buy more than the extra set-flows cost), and for benchmarks
+where the 100% merge inflates R0, 99% is the better choice.
+"""
+
+import statistics
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import (
+    MERGE_STRATEGIES,
+    fig17_cse_speedup_by_merge,
+)
+from repro.analysis.report import render_grouped
+from repro.workloads.suite import benchmark_names
+
+
+def test_fig17_cse_speedup_merge(benchmark):
+    data = once(benchmark, fig17_cse_speedup_by_merge)
+    text = render_grouped(data, columns=list(MERGE_STRATEGIES))
+    print("\n" + text)
+    write_artifact("fig17_cse_speedup_merge", text)
+
+    assert set(data) == set(benchmark_names())
+    for row in data.values():
+        assert all(v > 0 for v in row.values())
+
+    best_merged = statistics.fmean(
+        max(row["99%"], row["100%"]) for row in data.values()
+    )
+    mfp_only = statistics.fmean(row["baseline"] for row in data.values())
+    # merging is never a large regression and helps on average
+    assert best_merged >= mfp_only * 0.99

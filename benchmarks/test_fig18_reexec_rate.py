@@ -1,0 +1,40 @@
+"""Figure 18: CSE re-execution rate per merge strategy.
+
+Paper shape: the MFP alone re-executes often on several benchmarks (up to
+~26%); merging to 99%/100% coverage drops the rate to well under 1% on
+average — the evidence that random-input profiling predicts real-input
+convergence.
+"""
+
+import statistics
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import (
+    MERGE_STRATEGIES,
+    fig18_reexec_rate_by_merge,
+)
+from repro.analysis.report import render_grouped
+from repro.workloads.suite import benchmark_names
+
+
+def test_fig18_reexec_rate(benchmark):
+    data = once(benchmark, fig18_reexec_rate_by_merge)
+    printable = {
+        name: {s: f"{v:.2%}" for s, v in row.items()}
+        for name, row in data.items()
+    }
+    text = render_grouped(printable, columns=list(MERGE_STRATEGIES))
+    print("\n" + text)
+    write_artifact("fig18_reexec_rate", text)
+
+    assert set(data) == set(benchmark_names())
+    for name, row in data.items():
+        for strategy in MERGE_STRATEGIES:
+            assert 0.0 <= row[strategy] <= 1.0, (name, strategy)
+        # merging never increases the re-execution rate
+        assert row["100%"] <= row["baseline"] + 1e-9, name
+
+    # merged partitions keep the mean rate very low (paper: 0.2% average)
+    mean_99 = statistics.fmean(row["99%"] for row in data.values())
+    assert mean_99 <= 0.05

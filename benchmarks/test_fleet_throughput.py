@@ -1,0 +1,59 @@
+"""Fleet-level throughput: many FSMs over one input stream.
+
+The paper's applications run "tens to thousands of patterns" as FSM
+collections.  This bench scans a packet stream with a whole benchmark's
+FSM fleet under the rank's half-core budget and reports the aggregate
+modeled throughput — the deployment-level number a NIDS operator would
+quote.
+"""
+
+import numpy as np
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import cse_partition_for
+from repro.analysis.report import render_table
+from repro.stream import FleetScanner
+from repro.workloads.corpus import packet_corpus
+from repro.workloads.suite import load_benchmark
+
+BENCHES = ("Snort", "ExactMatch", "Clamav")
+
+
+def run_fleet():
+    rng = np.random.default_rng(11)
+    stream = packet_corpus(rng, 12_000)
+    rows = []
+    for name in BENCHES:
+        instance = load_benchmark(name)
+        dfas = [u.dfa for u in instance.units]
+        partitions = [
+            cse_partition_for(name, u.fsm_index, "table1")
+            for u in instance.units
+        ]
+        fleet = FleetScanner(dfas, partitions=partitions,
+                             n_segments=instance.spec.n_segments)
+        result = fleet.scan(stream)
+        rows.append(
+            {
+                "Benchmark": name,
+                "FSMs": result.n_fsms,
+                "Reports": result.total_reports,
+                "Cycles": result.cycles,
+                "Msym/s": result.throughput / 1e6,
+            }
+        )
+    return rows
+
+
+def test_fleet_throughput(benchmark):
+    rows = once(benchmark, run_fleet)
+    text = render_table(rows)
+    print("\n" + text)
+    write_artifact("fleet_throughput", text)
+
+    for row in rows:
+        assert row["Cycles"] > 0
+        assert row["Msym/s"] > 0
+    # the keyword-bearing packet stream must trip the Snort fleet
+    by_name = {r["Benchmark"]: r for r in rows}
+    assert by_name["Snort"]["Reports"] > 0

@@ -1,0 +1,39 @@
+"""Golden-file regression guard for the evaluation pipeline.
+
+With every seed fixed, the artifact numbers are exact reproducibles.  The
+first run records them under ``benchmarks/expected/results.json``; later
+runs must match within a small tolerance, so silent drift in any layer —
+compiler, engines, cost model, workloads — trips this bench even when the
+shape assertions of the per-figure benches still pass.
+
+To intentionally update the baseline (after a justified change), delete
+the expected file and re-run.
+"""
+
+import pathlib
+
+from conftest import once
+
+from repro.analysis.export import (
+    diff_results,
+    export_all,
+    load_results,
+    save_results,
+)
+
+EXPECTED = pathlib.Path(__file__).parent / "expected" / "results.json"
+
+
+def test_golden_results(benchmark):
+    actual = once(benchmark, export_all)
+    if not EXPECTED.exists():
+        EXPECTED.parent.mkdir(exist_ok=True)
+        save_results(actual, EXPECTED)
+        print(f"\nrecorded new baseline at {EXPECTED}")
+        return
+    expected = load_results(EXPECTED)
+    drifts = diff_results(expected, actual)
+    assert not drifts, (
+        "evaluation results drifted from the recorded baseline:\n"
+        + "\n".join(f"  {k}: {v}" for k, v in sorted(drifts.items())[:20])
+    )

@@ -1,0 +1,87 @@
+"""The paper's headline claims, checked in one place.
+
+Every other bench regenerates one artifact; this one reads the shared
+sweep and prints a claim-by-claim verdict — the executive summary of the
+reproduction (also recorded in EXPERIMENTS.md).
+"""
+
+import statistics
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import (
+    evaluate_suite,
+    fig8_mfp_frequency,
+    fig16_cse_r0_by_merge,
+    fig18_reexec_rate_by_merge,
+)
+from repro.analysis.report import render_table
+from repro.workloads.suite import benchmark_names, get_benchmark
+
+
+def run_claims():
+    sweep = evaluate_suite()
+    mfp = fig8_mfp_frequency()
+    r0_merge = fig16_cse_r0_by_merge()
+    reexec = fig18_reexec_rate_by_merge()
+    names = benchmark_names()
+
+    wins_lbe = sum(
+        sweep[n]["CSE"].speedup >= sweep[n]["LBE"].speedup - 1e-9 for n in names
+    )
+    wins_pap = sum(
+        sweep[n]["CSE"].speedup >= sweep[n]["PAP"].speedup - 1e-9 for n in names
+    )
+    gain_lbe = statistics.fmean(
+        sweep[n]["CSE"].speedup / sweep[n]["LBE"].speedup for n in names
+    )
+    gain_pap = statistics.fmean(
+        sweep[n]["CSE"].speedup / sweep[n]["PAP"].speedup for n in names
+    )
+    near_ideal = sum(
+        sweep[n]["CSE"].speedup >= 0.8 * get_benchmark(n).n_segments
+        for n in names
+    )
+    poweren_ratio = sweep["PowerEN"]["CSE"].speedup / get_benchmark(
+        "PowerEN"
+    ).n_segments
+    cse_rt = statistics.fmean(sweep[n]["CSE"].rt for n in names)
+    monotone_r0 = all(
+        r0_merge[n]["baseline"] <= r0_merge[n]["99%"] <= r0_merge[n]["100%"]
+        for n in names
+    )
+    mfp_reexec = max(reexec[n]["baseline"] for n in names)
+    merged_reexec = max(reexec[n]["99%"] for n in names)
+
+    claims = [
+        ("CSE >= LBE on every benchmark", f"{wins_lbe}/13", wins_lbe == 13),
+        ("CSE >= PAP on every benchmark", f"{wins_pap}/13", wins_pap == 13),
+        ("CSE mean gain over LBE > 1x", f"{gain_lbe:.2f}x", gain_lbe > 1.0),
+        ("CSE mean gain over PAP > 1x", f"{gain_pap:.2f}x", gain_pap > 1.0),
+        ("CSE near-ideal on most benchmarks", f"{near_ideal}/13 >= 80% of ideal",
+         near_ideal >= 9),
+        ("PowerEN is the outlier", f"{poweren_ratio:.0%} of ideal",
+         poweren_ratio < 0.8),
+        ("CSE RT ~ small (mean)", f"{cse_rt:.2f}", cse_rt < 3),
+        ("MFP alone is imperfect", f"min MFP freq {min(mfp.values()):.1%}",
+         min(mfp.values()) < 0.995),
+        ("merge only refines (R0 monotone)", str(monotone_r0), monotone_r0),
+        ("MFP-only re-executes somewhere", f"max {mfp_reexec:.2%}",
+         mfp_reexec > 0),
+        ("merged partitions barely re-execute", f"max {merged_reexec:.2%}",
+         merged_reexec <= 0.005),
+    ]
+    rows = [
+        {"Claim": c, "Measured": m, "Holds": "yes" if ok else "NO"}
+        for c, m, ok in claims
+    ]
+    return rows
+
+
+def test_headline_claims(benchmark):
+    rows = once(benchmark, run_claims)
+    text = render_table(rows)
+    print("\n" + text)
+    write_artifact("headline_claims", text)
+    failing = [r["Claim"] for r in rows if r["Holds"] != "yes"]
+    assert not failing, f"claims not reproduced: {failing}"

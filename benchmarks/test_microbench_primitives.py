@@ -1,0 +1,54 @@
+"""Microbenchmarks of the computational primitives (real repeated timing).
+
+Unlike the figure benches (single-shot regeneration), these measure the
+steady-state software cost of the three kernels everything else is built
+from: the sequential step loop, the all-states enumeration oracle, and the
+set(N)->set(M) pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.setfsm import SetFsm
+from repro.workloads.suite import load_benchmark
+
+WORD_LEN = 2000
+
+
+@pytest.fixture(scope="module")
+def unit():
+    return load_benchmark("Snort").units[0]
+
+
+@pytest.fixture(scope="module")
+def word(unit):
+    rng = np.random.default_rng(5)
+    return rng.integers(32, 127, size=WORD_LEN)
+
+
+def test_bench_sequential_run(benchmark, unit, word):
+    result = benchmark(lambda: unit.dfa.run(word))
+    assert isinstance(result, int)
+
+
+def test_bench_run_all_states(benchmark, unit, word):
+    result = benchmark(lambda: unit.dfa.run_all_states(word))
+    assert result.size == unit.dfa.num_states
+
+
+def test_bench_set_run(benchmark, unit, word):
+    machine = SetFsm(unit.dfa)
+    full = machine.full_set()
+    result = benchmark(lambda: machine.run(full, word))
+    assert result.size >= 1
+
+
+def test_bench_set_run_throughput_reasonable(benchmark, unit, word):
+    """The set-FSM pass should not be drastically slower than the oracle:
+    both are one numpy gather per symbol once converged."""
+    machine = SetFsm(unit.dfa)
+    full = machine.full_set()
+    benchmark(lambda: machine.run(full, word))
+    # correctness cross-check: final set contains the sequential result
+    final = machine.run(full, word)
+    assert unit.dfa.run(word) in final.tolist()

@@ -1,0 +1,73 @@
+"""Validation of the analytic performance model against the simulator.
+
+For every benchmark: measure the three summary statistics (convergence
+sets, stabilization time, flow floor), feed them to the closed-form model,
+and compare the predicted CSE speedup with the simulated one.  The model
+is useful if it ranks workloads correctly and lands within a modest error
+band on most of them.
+"""
+
+import statistics
+
+from conftest import once, write_artifact
+
+from repro.analysis.convergence import stabilization_stats
+from repro.analysis.experiments import cse_partition_for, evaluate_suite
+from repro.analysis.model import SegmentModel, predict_speedup
+from repro.analysis.report import render_table
+from repro.workloads.suite import benchmark_names, get_benchmark, load_benchmark
+
+
+def run_validation():
+    sweep = evaluate_suite()
+    rows = []
+    for name in benchmark_names():
+        spec = get_benchmark(name)
+        instance = load_benchmark(name)
+        stats = stabilization_stats(instance)
+        r0 = statistics.fmean(
+            cse_partition_for(name, u.fsm_index, "table1").num_blocks
+            for u in instance.units
+        )
+        model = SegmentModel(
+            r0=max(r0, stats.mean_final_size),
+            t_stabilize=stats.mean_symbols / spec.n_segments,
+            r_floor=stats.mean_final_size,
+        )
+        predicted = predict_speedup(
+            model,
+            input_len=spec.input_len,
+            n_segments=spec.n_segments,
+            cores_per_segment=spec.cores_per_segment,
+        )
+        measured = sweep[name]["CSE"].speedup
+        rows.append(
+            {
+                "Benchmark": name,
+                "Predicted": predicted,
+                "Measured": measured,
+                "Error": f"{abs(predicted - measured) / measured:.0%}",
+            }
+        )
+    return rows
+
+
+def test_model_validation(benchmark):
+    rows = once(benchmark, run_validation)
+    text = render_table(rows)
+    print("\n" + text)
+    write_artifact("model_validation", text)
+
+    errors = [
+        abs(r["Predicted"] - r["Measured"]) / r["Measured"] for r in rows
+    ]
+    # the model lands close on most benchmarks...
+    within_25 = sum(1 for e in errors if e <= 0.25)
+    assert within_25 >= 9, f"only {within_25}/13 within 25%"
+    # ...and identifies the hard outlier (lowest predicted speedup ratio)
+    by_name = {r["Benchmark"]: r for r in rows}
+    ideal = {n: get_benchmark(n).n_segments for n in by_name}
+    predicted_ratio = {
+        n: by_name[n]["Predicted"] / ideal[n] for n in by_name
+    }
+    assert min(predicted_ratio, key=predicted_ratio.get) == "PowerEN"

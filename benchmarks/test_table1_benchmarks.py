@@ -1,0 +1,24 @@
+"""Table I: benchmark characteristics of the (scaled) suite."""
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import table1
+from repro.analysis.report import render_table
+from repro.workloads.suite import benchmark_names
+
+
+def test_table1_benchmarks(benchmark):
+    rows = once(benchmark, table1)
+    text = render_table(rows)
+    print("\n" + text)
+    write_artifact("table1_benchmarks", text)
+
+    assert [r["Benchmark"] for r in rows] == benchmark_names()
+    # Table I invariants carried over from the paper
+    by_name = {r["Benchmark"]: r for r in rows}
+    assert by_name["Snort"]["HalfCores/Segment"] == "3/5"
+    assert by_name["Dotstar"]["HalfCores/Segment"] == "2/8"
+    assert by_name["ExactMatch"]["L"] == 10
+    assert by_name["Clamav"]["L"] == 40
+    assert by_name["Brill"]["L"] == 50
+    assert all(r["#State"] > 0 for r in rows)

@@ -1,0 +1,19 @@
+"""Table II: the four parallel-FSM designs and their optimizations."""
+
+from conftest import once, write_artifact
+
+from repro.analysis.experiments import table2
+from repro.analysis.report import render_table
+
+
+def test_table2_designs(benchmark):
+    rows = once(benchmark, table2)
+    text = render_table(rows)
+    print("\n" + text)
+    write_artifact("table2_designs", text)
+
+    assert [r["FSM"] for r in rows] == ["Baseline", "LBE", "PAP", "CSE"]
+    assert rows[0]["Basic FSM"] == "state FSM"
+    assert rows[1]["Basic FSM"] == "state and set FSM"
+    assert rows[3]["Basic FSM"] == "set FSM"
+    assert rows[3]["Static Optimization"] == "convergence set prediction"

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Compare all four designs (Baseline / LBE / PAP / CSE) on one benchmark.
+
+A miniature of the paper's Figures 12-14: pick a benchmark from the
+Table-I suite, run every engine over its FSMs and input strings, and print
+speedup, R0 and RT side by side.
+
+Run:  python examples/design_comparison.py [benchmark]
+      python examples/design_comparison.py Snort
+"""
+
+import sys
+
+from repro import APConfig, CseEngine, LbeEngine, PapEngine, SequentialEngine
+from repro.analysis.experiments import cse_partition_for
+from repro.analysis.metrics import summarize_runs
+from repro.analysis.report import render_table
+from repro.workloads.suite import benchmark_names, load_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Clamav"
+    if name not in benchmark_names():
+        raise SystemExit(f"unknown benchmark {name!r}; pick from "
+                         f"{benchmark_names()}")
+
+    instance = load_benchmark(name)
+    spec = instance.spec
+    print(f"benchmark {name}: {instance.n_fsms} FSMs, "
+          f"{instance.total_states} total states, "
+          f"{spec.n_segments} segments x {spec.cores_per_segment} half-cores, "
+          f"L={spec.lookback}, merge cutoff {spec.merge_cutoff:.0%}\n")
+
+    config = APConfig()
+    rows = []
+    common = dict(n_segments=spec.n_segments,
+                  cores_per_segment=spec.cores_per_segment, config=config)
+
+    def engines_for(unit):
+        return [
+            SequentialEngine(unit.dfa, config=config),
+            LbeEngine(unit.dfa, lookback=spec.lookback, **common),
+            PapEngine(unit.dfa, **common),
+            CseEngine(
+                unit.dfa,
+                partition=cse_partition_for(name, unit.fsm_index, "table1"),
+                **common,
+            ),
+        ]
+
+    runs_by_engine = {}
+    oracle_by_string = {}
+    for unit in instance.units:
+        for engine in engines_for(unit):
+            for string_idx, string in enumerate(unit.strings):
+                result = engine.run(string)
+                key = (unit.fsm_index, string_idx)
+                if engine.name == "Baseline":
+                    oracle_by_string[key] = result.final_state
+                else:
+                    assert result.final_state == oracle_by_string[key], (
+                        f"{engine.name} diverged on fsm {unit.fsm_index}"
+                    )
+                runs_by_engine.setdefault(engine.name, []).append(result)
+
+    for engine_name, runs in runs_by_engine.items():
+        stats = summarize_runs(runs)
+        rows.append(
+            {
+                "Design": engine_name,
+                "Speedup": stats.speedup,
+                "Ideal": stats.ideal_speedup,
+                "R0": stats.r0,
+                "RT": stats.rt,
+                "Re-exec": f"{stats.reexec_rate:.2%}",
+                "Msym/s": stats.throughput / 1e6,
+            }
+        )
+    print(render_table(rows))
+    print("\nAll parallel engines matched the sequential oracle on every "
+          "(FSM, string) pair.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Protein motif scanning (the Protomata benchmark's domain).
+
+PROSITE motifs like ``C-x(2,4)-C-x(3)-[LIVMFYWC]`` describe conserved
+regions of protein families.  Compiled to regex form they become FSMs over
+the 20-letter amino-acid alphabet — exactly the Protomata workload in the
+paper's suite.  This example scans synthetic protein sequences for a few
+classic motif shapes and shows that CSE returns the same matches at a
+fraction of the sequential cycles.
+
+Run:  python examples/protein_motifs.py
+"""
+
+import numpy as np
+
+from repro import CseEngine, SequentialEngine, compile_ruleset, ProfilingConfig
+
+AMINO = "ACDEFGHIKLMNPQRSTVWY"
+
+# PROSITE-style motifs, translated to the regex subset ("x(m,n)" -> ".{m,n}"
+# restricted to amino letters):
+MOTIFS = [
+    # zinc-finger-like: C x(2,4) C x(3) [LIVMFYWC]
+    "C[A-Y]{2,4}C[A-Y]{3}[LIVMFYWC]",
+    # N-glycosylation-like: N [^P] [ST]
+    "N[^P][ST]",
+    # leucine-zipper-ish: L x(6) L x(6) L
+    "L[A-Y]{6}L[A-Y]{6}L",
+]
+
+
+def synth_protein(rng: np.random.Generator, length: int) -> bytes:
+    """A random protein sequence with a few motifs spliced in."""
+    seq = [AMINO[int(i)] for i in rng.integers(0, len(AMINO), length)]
+    # splice one zinc-finger-ish site
+    site = "CAAC" + "KLM" + "L"
+    pos = int(rng.integers(0, length - len(site)))
+    seq[pos:pos + len(site)] = site
+    return "".join(seq).encode()
+
+
+def main() -> None:
+    rng = np.random.default_rng(2018)
+    dfa = compile_ruleset(MOTIFS)
+    print(f"motif FSM: {dfa} (from {len(MOTIFS)} PROSITE-style motifs)")
+
+    sequences = [synth_protein(rng, 3000) for _ in range(5)]
+    print(f"scanning {len(sequences)} synthetic proteins of 3000 residues\n")
+
+    engine = CseEngine(
+        dfa,
+        n_segments=8,
+        cores_per_segment=2,
+        profiling=ProfilingConfig(
+            n_inputs=300, input_len=375,
+            symbol_low=ord("A"), symbol_high=ord("Y"),
+        ),
+    )
+    baseline = SequentialEngine(dfa)
+    print(f"CSE predicted {engine.num_convergence_sets} convergence set(s), "
+          f"coverage {engine.prediction.covered:.1%}\n")
+
+    total_sites = 0
+    speedups = []
+    for idx, seq in enumerate(sequences):
+        base = baseline.run(seq)
+        result = engine.run(seq)
+        assert result.final_state == base.final_state
+        sites = len(base.reports or [])
+        total_sites += sites
+        speedups.append(result.speedup)
+        print(f"protein {idx}: {sites:4d} motif hits, "
+              f"CSE {result.speedup:5.2f}x (ideal {result.ideal_speedup:.0f}x),"
+              f" re-exec {result.reexec_segments}")
+
+    print(f"\ntotal motif sites: {total_sites}")
+    print(f"mean speedup: {float(np.mean(speedups)):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs bdist_wheel; on offline machines without the wheel
+package, `python setup.py develop` provides the same editable install using
+only setuptools. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reproduction of "CSE: Parallel Finite State Machines with
+Convergence Set Enumeration" (MICRO 2018).
+
+Quick tour
+----------
+
+>>> from repro import compile_ruleset, CseEngine, SequentialEngine
+>>> dfa = compile_ruleset(["cat", "dog", "fis?h"])
+>>> engine = CseEngine(dfa, n_segments=8)
+>>> result = engine.run(b"the cat chased a fish up the dogwood tree " * 50)
+>>> result.final_state == SequentialEngine(dfa).run(
+...     b"the cat chased a fish up the dogwood tree " * 50).final_state
+True
+>>> result.speedup > 1
+True
+
+Subpackages: :mod:`repro.automata` (DFA/NFA substrate), :mod:`repro.regex`
+(pattern compiler), :mod:`repro.engines` (baseline + LBE + PAP),
+:mod:`repro.core` (CSE itself), :mod:`repro.hardware` (AP cost model),
+:mod:`repro.workloads` (the 13-benchmark suite), :mod:`repro.analysis`
+(experiment harness regenerating every paper table and figure).
+"""
+
+from repro.automata import Dfa, Nfa, determinize, minimize
+from repro.regex import compile_pattern, compile_ruleset, parse
+from repro.hardware import APConfig
+from repro.engines import (
+    Engine,
+    RunResult,
+    SequentialEngine,
+    EnumerativeEngine,
+    LbeEngine,
+    PapEngine,
+)
+from repro.core import (
+    CseEngine,
+    AdaptiveCseEngine,
+    HybridCseEngine,
+    SetFsm,
+    StatePartition,
+    ProfilingConfig,
+    profile_partitions,
+    maximum_frequency_partition,
+    merge_to_cutoff,
+    predict_convergence_sets,
+    recover_reports,
+)
+from repro.stream import FleetScanner, StreamScanner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dfa",
+    "Nfa",
+    "determinize",
+    "minimize",
+    "compile_pattern",
+    "compile_ruleset",
+    "parse",
+    "APConfig",
+    "Engine",
+    "RunResult",
+    "SequentialEngine",
+    "EnumerativeEngine",
+    "LbeEngine",
+    "PapEngine",
+    "CseEngine",
+    "AdaptiveCseEngine",
+    "HybridCseEngine",
+    "SetFsm",
+    "StatePartition",
+    "ProfilingConfig",
+    "profile_partitions",
+    "maximum_frequency_partition",
+    "merge_to_cutoff",
+    "predict_convergence_sets",
+    "recover_reports",
+    "StreamScanner",
+    "FleetScanner",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+:mod:`metrics` aggregates engine run results; :mod:`experiments` has one
+callable per paper artifact (``table1``, ``fig12_speedup``, ...);
+:mod:`report` renders the results as aligned text tables for the console
+and EXPERIMENTS.md.
+"""
+
+from repro.analysis.metrics import EngineStats, summarize_runs, reexecution_rate
+from repro.analysis.experiments import (
+    table1,
+    table2,
+    fig8_mfp_frequency,
+    evaluate_suite,
+    fig12_speedup,
+    fig13_r0,
+    fig14_rt,
+    fig15_lbe_lookback,
+    fig16_cse_r0_by_merge,
+    fig17_cse_speedup_by_merge,
+    fig18_reexec_rate_by_merge,
+    MERGE_STRATEGIES,
+)
+from repro.analysis.report import render_table, render_series, render_grouped, render_bars
+
+__all__ = [
+    "EngineStats",
+    "summarize_runs",
+    "reexecution_rate",
+    "table1",
+    "table2",
+    "fig8_mfp_frequency",
+    "evaluate_suite",
+    "fig12_speedup",
+    "fig13_r0",
+    "fig14_rt",
+    "fig15_lbe_lookback",
+    "fig16_cse_r0_by_merge",
+    "fig17_cse_speedup_by_merge",
+    "fig18_reexec_rate_by_merge",
+    "MERGE_STRATEGIES",
+    "render_table",
+    "render_series",
+    "render_grouped",
+    "render_bars",
+]

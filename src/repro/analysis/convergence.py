@@ -1,0 +1,90 @@
+"""Convergence-dynamics analysis.
+
+Section VI-B explains benchmark behaviour through how fast the flow count
+R collapses: most applications reach R = 1 "within less than 10 symbols",
+while PowerEN "takes 565 symbols for RT to become stable".  These helpers
+quantify that, per FSM and per benchmark, from the set-flow size trace.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+from repro.workloads.suite import BenchmarkInstance, load_benchmark
+
+__all__ = [
+    "symbols_to_stabilize",
+    "stabilization_stats",
+    "StabilizationStats",
+    "suite_stabilization",
+]
+
+
+def symbols_to_stabilize(dfa: Dfa, symbols) -> int:
+    """Symbols consumed before the all-states set reaches its final size.
+
+    Runs ``set(N) -> set(M)`` from the full state set and returns the
+    first position after which the set size never changes again.  0 means
+    the machine was "stable" before reading anything (degenerate); a value
+    equal to the input length means it never stabilized.
+    """
+    states = np.arange(dfa.num_states, dtype=np.int32)
+    _final, sizes = dfa.set_run(states, symbols, record_sizes=True)
+    if not sizes:
+        return 0
+    final_size = sizes[-1]
+    # walk backwards to the last index where the size still differed
+    for idx in range(len(sizes) - 1, -1, -1):
+        if sizes[idx] != final_size:
+            return idx + 1
+    return 0
+
+
+@dataclass(frozen=True)
+class StabilizationStats:
+    """Aggregate convergence dynamics for one benchmark."""
+
+    benchmark: str
+    mean_symbols: float
+    max_symbols: int
+    #: fraction of (FSM, string) pairs stabilizing within 10 symbols —
+    #: the paper's "R0 reduced to 1 dynamically within less than 10
+    #: symbols" observation
+    within_10: float
+    #: final set size averaged over pairs (1.0 = full convergence)
+    mean_final_size: float
+
+
+def stabilization_stats(instance: BenchmarkInstance) -> StabilizationStats:
+    """Measure stabilization over every (FSM, string) pair of a benchmark."""
+    times: List[int] = []
+    finals: List[int] = []
+    for unit in instance.units:
+        all_states = np.arange(unit.dfa.num_states, dtype=np.int32)
+        for string in unit.strings:
+            times.append(symbols_to_stabilize(unit.dfa, string))
+            finals.append(int(unit.dfa.set_run(all_states, string).size))
+    return StabilizationStats(
+        benchmark=instance.name,
+        mean_symbols=statistics.fmean(times),
+        max_symbols=max(times),
+        within_10=sum(1 for t in times if t <= 10) / len(times),
+        mean_final_size=statistics.fmean(finals),
+    )
+
+
+def suite_stabilization(
+    names: Sequence[str] = (), scale: float = 1.0
+) -> Dict[str, StabilizationStats]:
+    """Stabilization statistics across the (given or full) suite."""
+    from repro.workloads.suite import benchmark_names
+
+    out: Dict[str, StabilizationStats] = {}
+    for name in names or benchmark_names():
+        out[name] = stabilization_stats(load_benchmark(name, scale))
+    return out

@@ -1,0 +1,369 @@
+"""One callable per paper table / figure.
+
+Every function returns plain data structures (dicts keyed by benchmark
+name) so the benchmark harness, the examples and EXPERIMENTS.md generation
+all consume the same source of truth.  A paper benchmark is a collection
+of FSMs; metrics are averaged over every (FSM, input-string) pair, which
+is the paper's "performance number is averaged over all input strings".
+
+Heavyweight intermediates — compiled benchmarks, profiling censuses,
+full-suite engine sweeps — are cached in-process because several figures
+share them (Figures 12/13/14 are three views of one sweep; Figures 8 and
+16/17/18 share the censuses).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Counter as CounterT, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import EngineStats, summarize_runs
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.core.profiling import (
+    maximum_frequency_partition,
+    merge_to_cutoff,
+    profile_partitions,
+)
+from repro.engines.base import Engine, RunResult
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+from repro.engines.sequential import SequentialEngine
+from repro.hardware.ap import APConfig
+from repro.workloads.suite import (
+    BenchmarkInstance,
+    BenchmarkUnit,
+    benchmark_names,
+    get_benchmark,
+    load_benchmark,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "fig8_mfp_frequency",
+    "evaluate_suite",
+    "fig12_speedup",
+    "fig13_r0",
+    "fig14_rt",
+    "fig15_lbe_lookback",
+    "fig16_cse_r0_by_merge",
+    "fig17_cse_speedup_by_merge",
+    "fig18_reexec_rate_by_merge",
+    "MERGE_STRATEGIES",
+    "unit_census",
+    "cse_partition_for",
+]
+
+#: Figure 16/17/18 x-axis: MFP only, merge to 99%, merge to 100%.
+MERGE_STRATEGIES: Tuple[str, ...] = ("baseline", "99%", "100%")
+
+_CENSUS_CACHE: Dict[Tuple[str, int, float], CounterT[StatePartition]] = {}
+_PARTITION_CACHE: Dict[Tuple[str, int, str, float], StatePartition] = {}
+_SUITE_CACHE: Dict[Tuple, Dict[str, Dict[str, EngineStats]]] = {}
+_STRATEGY_CACHE: Dict[Tuple[str, float], Dict[str, EngineStats]] = {}
+
+
+def unit_census(
+    name: str, fsm_index: int, scale: float = 1.0
+) -> CounterT[StatePartition]:
+    """Profiling census for one FSM of a benchmark (cached)."""
+    key = (name, fsm_index, scale)
+    if key not in _CENSUS_CACHE:
+        instance = load_benchmark(name, scale)
+        unit = instance.units[fsm_index]
+        _CENSUS_CACHE[key] = profile_partitions(
+            unit.dfa, instance.spec.profiling_config(fsm_index)
+        )
+    return _CENSUS_CACHE[key]
+
+
+def cse_partition_for(
+    name: str, fsm_index: int, strategy: str, scale: float = 1.0
+) -> StatePartition:
+    """The convergence partition a merge strategy yields for one FSM.
+
+    Strategies: ``"baseline"`` (MFP, no merge), ``"99%"``, ``"100%"`` and
+    ``"table1"`` (the per-benchmark cut-off the paper selected).
+    """
+    key = (name, fsm_index, strategy, scale)
+    if key in _PARTITION_CACHE:
+        return _PARTITION_CACHE[key]
+    census = unit_census(name, fsm_index, scale)
+    if strategy == "baseline":
+        partition = maximum_frequency_partition(census)[0]
+    elif strategy == "99%":
+        partition = merge_to_cutoff(census, cutoff=0.99).partition
+    elif strategy == "100%":
+        partition = merge_to_cutoff(census, cutoff=1.0).partition
+    elif strategy == "table1":
+        cutoff = get_benchmark(name).merge_cutoff
+        partition = merge_to_cutoff(census, cutoff=cutoff).partition
+    else:
+        raise ValueError(f"unknown merge strategy {strategy!r}")
+    _PARTITION_CACHE[key] = partition
+    return partition
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def table1(scale: float = 1.0) -> List[Dict]:
+    """Table I: benchmark characteristics.
+
+    ``#FSM`` / ``#State`` are this reproduction's scaled-down counts (the
+    paper's originals are orders of magnitude larger); L, MFP cut-off and
+    the half-core/segment split are the paper's values verbatim.
+    """
+    rows = []
+    for name in benchmark_names():
+        spec = get_benchmark(name)
+        instance = load_benchmark(name, scale)
+        rows.append(
+            {
+                "Benchmark": name,
+                "#FSM": instance.n_fsms,
+                "#State": instance.total_states,
+                "HalfCores/Segment": f"{spec.cores_per_segment}/{spec.n_segments}",
+                "L": spec.lookback,
+                "MFP": f"{spec.merge_cutoff:.0%}",
+            }
+        )
+    return rows
+
+
+def table2() -> List[Dict]:
+    """Table II: the design taxonomy, read off the engine classes."""
+    rows = []
+    for cls, label in (
+        (SequentialEngine, "Baseline"),
+        (LbeEngine, "LBE"),
+        (PapEngine, "PAP"),
+        (CseEngine, "CSE"),
+    ):
+        rows.append(
+            {
+                "FSM": label,
+                "Basic FSM": cls.building_block,
+                "Static Optimization": cls.static_optimization,
+                "Dynamic Optimization": cls.dynamic_optimization,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8: MFP frequency after profiling (no merge)
+# ----------------------------------------------------------------------
+def fig8_mfp_frequency(scale: float = 1.0) -> Dict[str, float]:
+    """Per benchmark: frequency of the maximum frequency partition,
+    averaged over the benchmark's FSMs."""
+    out = {}
+    for name in benchmark_names():
+        instance = load_benchmark(name, scale)
+        freqs = [
+            maximum_frequency_partition(unit_census(name, u.fsm_index, scale))[1]
+            for u in instance.units
+        ]
+        out[name] = statistics.fmean(freqs)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The main sweep behind Figures 12 / 13 / 14
+# ----------------------------------------------------------------------
+def _engines_for_unit(
+    instance: BenchmarkInstance,
+    unit: BenchmarkUnit,
+    config: APConfig,
+    scale: float,
+    include_enumerative: bool,
+) -> List[Engine]:
+    spec = instance.spec
+    common = dict(
+        n_segments=spec.n_segments,
+        cores_per_segment=spec.cores_per_segment,
+        config=config,
+    )
+    engines: List[Engine] = []
+    if include_enumerative:
+        engines.append(EnumerativeEngine(unit.dfa, **common))
+    engines.append(LbeEngine(unit.dfa, lookback=spec.lookback, **common))
+    engines.append(PapEngine(unit.dfa, **common))
+    engines.append(
+        CseEngine(
+            unit.dfa,
+            partition=cse_partition_for(spec.name, unit.fsm_index, "table1", scale),
+            **common,
+        )
+    )
+    return engines
+
+
+def evaluate_suite(
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+    config: Optional[APConfig] = None,
+    include_enumerative: bool = False,
+) -> Dict[str, Dict[str, EngineStats]]:
+    """Run Baseline/LBE/PAP/CSE over the whole suite.
+
+    Returns ``{benchmark: {engine: EngineStats}}``; cached, because
+    Figures 12, 13 and 14 are three projections of this one sweep.  Every
+    parallel engine is checked against the sequential oracle on every
+    (FSM, string) pair.
+    """
+    names = tuple(names or benchmark_names())
+    config = config or APConfig()
+    key = (names, scale, config, include_enumerative)
+    if key in _SUITE_CACHE:
+        return _SUITE_CACHE[key]
+    out: Dict[str, Dict[str, EngineStats]] = {}
+    for name in names:
+        instance = load_benchmark(name, scale)
+        runs_by_engine: Dict[str, List[RunResult]] = {}
+        for unit in instance.units:
+            baseline = SequentialEngine(unit.dfa, config=config)
+            base_runs = [baseline.run(s) for s in unit.strings]
+            runs_by_engine.setdefault("Baseline", []).extend(base_runs)
+            expected = [r.final_state for r in base_runs]
+            for engine in _engines_for_unit(
+                instance, unit, config, scale, include_enumerative
+            ):
+                runs = [engine.run(s) for s in unit.strings]
+                got = [r.final_state for r in runs]
+                if got != expected:
+                    raise AssertionError(
+                        f"{engine.name} diverged from the sequential oracle "
+                        f"on {name} (fsm {unit.fsm_index})"
+                    )
+                runs_by_engine.setdefault(engine.name, []).extend(runs)
+        out[name] = {
+            engine: summarize_runs(runs) for engine, runs in runs_by_engine.items()
+        }
+    _SUITE_CACHE[key] = out
+    return out
+
+
+def fig12_speedup(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Figure 12: speedup over baseline for LBE / PAP / CSE (+ ideal)."""
+    sweep = evaluate_suite(scale)
+    out: Dict[str, Dict[str, float]] = {}
+    for name, stats in sweep.items():
+        row = {
+            engine: s.speedup
+            for engine, s in stats.items()
+            if engine != "Baseline"
+        }
+        row["IDEAL"] = float(get_benchmark(name).n_segments)
+        out[name] = row
+    return out
+
+
+def fig13_r0(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Figure 13: initial flow count R0 per design."""
+    sweep = evaluate_suite(scale)
+    return {
+        name: {
+            engine: s.r0 for engine, s in stats.items() if engine != "Baseline"
+        }
+        for name, stats in sweep.items()
+    }
+
+
+def fig14_rt(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Figure 14: final flow count RT per design."""
+    sweep = evaluate_suite(scale)
+    return {
+        name: {
+            engine: s.rt for engine, s in stats.items() if engine != "Baseline"
+        }
+        for name, stats in sweep.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 15: LBE speedup vs lookback length
+# ----------------------------------------------------------------------
+def fig15_lbe_lookback(
+    lengths: Sequence[int] = (10, 20, 30, 100),
+    scale: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Figure 15: sweep L for LBE on every benchmark."""
+    out: Dict[str, Dict[int, float]] = {}
+    for name in names or benchmark_names():
+        instance = load_benchmark(name, scale)
+        spec = instance.spec
+        per_len: Dict[int, float] = {}
+        for length in lengths:
+            runs: List[RunResult] = []
+            for unit in instance.units:
+                engine = LbeEngine(
+                    unit.dfa,
+                    n_segments=spec.n_segments,
+                    cores_per_segment=spec.cores_per_segment,
+                    lookback=length,
+                )
+                runs.extend(engine.run(s) for s in unit.strings)
+            per_len[length] = summarize_runs(runs).speedup
+        out[name] = per_len
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 16 / 17 / 18: merge strategy ablation
+# ----------------------------------------------------------------------
+def _strategy_stats(name: str, scale: float) -> Dict[str, EngineStats]:
+    key = (name, scale)
+    if key in _STRATEGY_CACHE:
+        return _STRATEGY_CACHE[key]
+    instance = load_benchmark(name, scale)
+    spec = instance.spec
+    out: Dict[str, EngineStats] = {}
+    for strategy in MERGE_STRATEGIES:
+        runs: List[RunResult] = []
+        for unit in instance.units:
+            engine = CseEngine(
+                unit.dfa,
+                n_segments=spec.n_segments,
+                cores_per_segment=spec.cores_per_segment,
+                partition=cse_partition_for(name, unit.fsm_index, strategy, scale),
+            )
+            runs.extend(engine.run(s) for s in unit.strings)
+        out[strategy] = summarize_runs(runs)
+    _STRATEGY_CACHE[key] = out
+    return out
+
+
+def fig16_cse_r0_by_merge(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Figure 16: number of convergence sets (CSE's R0) per merge strategy,
+    averaged over the benchmark's FSMs."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in benchmark_names():
+        instance = load_benchmark(name, scale)
+        out[name] = {
+            strategy: statistics.fmean(
+                cse_partition_for(name, u.fsm_index, strategy, scale).num_blocks
+                for u in instance.units
+            )
+            for strategy in MERGE_STRATEGIES
+        }
+    return out
+
+
+def fig17_cse_speedup_by_merge(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Figure 17: CSE speedup per merge strategy."""
+    return {
+        name: {s: st.speedup for s, st in _strategy_stats(name, scale).items()}
+        for name in benchmark_names()
+    }
+
+
+def fig18_reexec_rate_by_merge(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Figure 18: CSE re-execution rate per merge strategy."""
+    return {
+        name: {s: st.reexec_rate for s, st in _strategy_stats(name, scale).items()}
+        for name in benchmark_names()
+    }

@@ -1,0 +1,93 @@
+"""Machine-readable export of experiment artifacts.
+
+Text tables are for humans; downstream tooling (plotting, regression
+guards, CI dashboards) wants JSON.  :func:`export_all` collects every
+deterministic artifact into one dict; :func:`save_results` /
+:func:`load_results` persist it.  The golden-file bench
+(``benchmarks/test_golden_results.py``) uses this to detect silent drift
+in the evaluation pipeline: with all seeds fixed, these numbers are exact
+reproducibles, not statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.analysis import experiments as exp
+
+__all__ = ["export_all", "save_results", "load_results", "diff_results"]
+
+FORMAT_VERSION = 1
+
+
+def export_all(scale: float = 1.0) -> Dict:
+    """Every deterministic artifact as plain JSON-able data."""
+    return {
+        "version": FORMAT_VERSION,
+        "scale": scale,
+        "table1": exp.table1(scale),
+        "table2": exp.table2(),
+        "fig8_mfp_frequency": exp.fig8_mfp_frequency(scale),
+        "fig12_speedup": exp.fig12_speedup(scale),
+        "fig13_r0": exp.fig13_r0(scale),
+        "fig14_rt": exp.fig14_rt(scale),
+        "fig16_cse_r0_by_merge": exp.fig16_cse_r0_by_merge(scale),
+        "fig17_cse_speedup_by_merge": exp.fig17_cse_speedup_by_merge(scale),
+        "fig18_reexec_rate_by_merge": exp.fig18_reexec_rate_by_merge(scale),
+    }
+
+
+def save_results(results: Dict, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(results, indent=1, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> Dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version {data.get('version')!r}"
+        )
+    return data
+
+
+def diff_results(
+    expected: Dict,
+    actual: Dict,
+    rel_tolerance: float = 0.02,
+) -> Dict[str, str]:
+    """Compare two result exports; return {location: description} of drifts.
+
+    Numeric leaves compare with a relative tolerance (cycle accounting is
+    deterministic, but a small band keeps the guard robust to benign
+    refactors like reordered float summation); everything else compares
+    exactly.
+    """
+    drifts: Dict[str, str] = {}
+
+    def walk(path: str, a, b) -> None:
+        if isinstance(a, dict) and isinstance(b, dict):
+            for key in sorted(set(a) | set(b)):
+                if key not in a:
+                    drifts[f"{path}.{key}"] = "missing in expected"
+                elif key not in b:
+                    drifts[f"{path}.{key}"] = "missing in actual"
+                else:
+                    walk(f"{path}.{key}", a[key], b[key])
+        elif isinstance(a, list) and isinstance(b, list):
+            if len(a) != len(b):
+                drifts[path] = f"length {len(a)} vs {len(b)}"
+                return
+            for i, (x, y) in enumerate(zip(a, b)):
+                walk(f"{path}[{i}]", x, y)
+        elif isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                and not isinstance(a, bool) and not isinstance(b, bool):
+            scale = max(abs(a), abs(b), 1e-12)
+            if abs(a - b) / scale > rel_tolerance:
+                drifts[path] = f"{a} vs {b}"
+        elif a != b:
+            drifts[path] = f"{a!r} vs {b!r}"
+
+    walk("results", expected, actual)
+    return drifts

@@ -1,0 +1,63 @@
+"""Aggregation of engine run results into the paper's reported metrics."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.engines.base import RunResult
+
+__all__ = ["EngineStats", "summarize_runs", "reexecution_rate"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Averages over a batch of independent input strings.
+
+    These are exactly the quantities the paper plots: speedup over the
+    sequential baseline (Figure 12), initial and final flow counts R0 / RT
+    (Figures 13, 14) and the re-execution rate (Figure 18).
+    """
+
+    engine: str
+    n_runs: int
+    speedup: float
+    r0: float
+    rt: float
+    reexec_rate: float
+    throughput: float
+    ideal_speedup: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.engine}: speedup {self.speedup:.2f}x (ideal "
+            f"{self.ideal_speedup:.0f}x), R0 {self.r0:.2f}, RT {self.rt:.2f}, "
+            f"re-exec {self.reexec_rate:.2%}"
+        )
+
+
+def reexecution_rate(results: Sequence[RunResult]) -> float:
+    """Fraction of enumerative segments that had to be re-executed."""
+    segments = sum(max(0, r.n_segments - 1) for r in results)
+    if segments == 0:
+        return 0.0
+    reexecuted = sum(r.reexec_segments for r in results)
+    return reexecuted / segments
+
+
+def summarize_runs(results: Sequence[RunResult]) -> EngineStats:
+    """Average a batch of runs of one engine (paper: "averaged over all
+    input strings")."""
+    if not results:
+        raise ValueError("no runs to summarize")
+    return EngineStats(
+        engine=results[0].engine,
+        n_runs=len(results),
+        speedup=statistics.fmean(r.speedup for r in results),
+        r0=statistics.fmean(r.r0_mean for r in results),
+        rt=statistics.fmean(r.rt_mean for r in results),
+        reexec_rate=reexecution_rate(results),
+        throughput=statistics.fmean(r.throughput for r in results),
+        ideal_speedup=statistics.fmean(r.ideal_speedup for r in results),
+    )

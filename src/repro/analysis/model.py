@@ -1,0 +1,104 @@
+"""Analytic performance model for CSE.
+
+The simulator integrates measured flow traces; this model predicts the
+same speedup from three *summary statistics* — a closed form useful for
+capacity planning (how many segments? which partition?) without running
+the engine:
+
+- ``r0`` — the number of convergence sets (known from the partition);
+- ``t_stabilize`` — expected symbols until the flows stop merging
+  (measured once per workload with
+  :func:`repro.analysis.convergence.symbols_to_stabilize`);
+- ``r_floor`` — the flow count after stabilization (1 when everything
+  converges; >1 for permanent basins like PowerEN's strides).
+
+Per enumerative segment of length ``L`` (with ``c`` half-cores)::
+
+    cycles ≈  t_s * ceil((r0+r_floor)/2 / c)      (pre-stabilization ramp,
+                                                   flows decay ~linearly)
+            + (L - t_s) * ceil(r_floor / c)       (steady state)
+            + chunk overheads                      (switches + checks)
+
+and the run's speedup is ``L_total / (max segment cycles + repair)``.
+The model-validation bench (``benchmarks/test_model_validation.py``)
+checks the prediction against the simulator across the suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.ap import APConfig
+
+__all__ = ["SegmentModel", "predict_segment_cycles", "predict_speedup"]
+
+
+@dataclass(frozen=True)
+class SegmentModel:
+    """Summary statistics describing one workload's convergence behaviour."""
+
+    r0: float
+    t_stabilize: float
+    r_floor: float = 1.0
+
+    def __post_init__(self):
+        if self.r0 < 1 or self.r_floor < 0 or self.t_stabilize < 0:
+            raise ValueError("model parameters must be non-negative (r0 >= 1)")
+
+
+def _per_symbol(flows: float, cores: int, config: APConfig) -> float:
+    return math.ceil(max(flows, 0.0) / cores) * config.symbol_cycles
+
+
+def predict_segment_cycles(
+    model: SegmentModel,
+    segment_len: int,
+    cores: int = 1,
+    config: Optional[APConfig] = None,
+) -> float:
+    """Expected cycles for one enumerative segment."""
+    config = config or APConfig()
+    t_s = min(model.t_stabilize, segment_len)
+    ramp_flows = (model.r0 + model.r_floor) / 2.0
+    cycles = t_s * _per_symbol(ramp_flows, cores, config)
+    cycles += (segment_len - t_s) * _per_symbol(model.r_floor, cores, config)
+    # chunk overheads: charged while more than one flow is live
+    multiplexed = t_s if model.r_floor <= 1 else segment_len
+    chunks = multiplexed / config.check_interval
+    mean_flows = ramp_flows if model.r_floor <= 1 else model.r_floor
+    per_core = math.ceil(mean_flows / cores)
+    cycles += chunks * (
+        config.context_switch_cycles * max(0, per_core - 1)
+        + config.convergence_check_cycles_per_pair * (mean_flows // 2)
+    )
+    return cycles
+
+
+def predict_speedup(
+    model: SegmentModel,
+    input_len: int,
+    n_segments: int,
+    cores_per_segment: int = 1,
+    config: Optional[APConfig] = None,
+    reexec_rate: float = 0.0,
+) -> float:
+    """Expected end-to-end speedup over the sequential baseline.
+
+    ``reexec_rate`` is the expected fraction of segments re-executed
+    (Figure 18's metric); each re-execution serializes one segment length.
+    """
+    config = config or APConfig()
+    if n_segments < 1:
+        raise ValueError("n_segments must be >= 1")
+    segment_len = input_len / n_segments
+    enum_cycles = predict_segment_cycles(
+        model, int(round(segment_len)), cores_per_segment, config
+    )
+    # segment 1 is concrete: 1 cycle/symbol; the critical path is the max
+    critical = max(segment_len * config.symbol_cycles, enum_cycles)
+    critical += reexec_rate * (n_segments - 1) * segment_len
+    if critical <= 0:
+        return float(n_segments)
+    return (input_len * config.symbol_cycles) / critical

@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep the formatting in one place (console output,
+EXPERIMENTS.md, and the benchmark suite all share them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "render_grouped", "render_bars"]
+
+
+def render_table(rows: Sequence[Mapping], columns: Optional[Sequence[str]] = None) -> str:
+    """Align a list of dict rows into a text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_grouped(
+    data: Mapping[str, Mapping[str, object]],
+    row_label: str = "Benchmark",
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``{row: {column: value}}`` (the shape every figure uses)."""
+    rows: List[Dict] = []
+    for name, values in data.items():
+        row: Dict = {row_label: name}
+        row.update(values)
+        rows.append(row)
+    if columns is not None:
+        columns = [row_label, *columns]
+    return render_table(rows, columns)
+
+
+def render_series(
+    data: Mapping[str, object], name: str = "value", key_label: str = "Benchmark"
+) -> str:
+    """Render a flat ``{key: value}`` mapping as a two-column table."""
+    rows = [{key_label: k, name: v} for k, v in data.items()]
+    return render_table(rows, [key_label, name])
+
+
+def render_bars(
+    data: Mapping[str, float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    fill: str = "#",
+) -> str:
+    """Horizontal ASCII bar chart for a ``{label: value}`` mapping.
+
+    The paper's figures are bar charts; this renders their closest
+    terminal-friendly analogue (used by the CLI's ``figures`` command).
+    """
+    if not data:
+        return "(no data)"
+    values = {k: float(v) for k, v in data.items()}
+    peak = max_value if max_value is not None else max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for label, value in values.items():
+        bar = fill * max(0, int(round(width * value / peak)))
+        lines.append(f"{str(label).ljust(label_width)}  {bar} {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if 0 < abs(value) < 0.1:
+            return f"{value:.4f}"
+        return f"{value:.2f}"
+    return str(value)

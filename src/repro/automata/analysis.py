@@ -1,0 +1,172 @@
+"""Structural analyses of DFAs.
+
+These are the building blocks of the static optimizations in the comparator
+engines (Section II-D of the paper):
+
+- :func:`dead_states` — states from which no accepting state is reachable;
+  enumeration flows entering them can be deactivated.
+- :func:`symbol_image` / :func:`symbol_image_sizes` — the feasible state
+  range after each symbol, used by PAP's *range-guided input partition*.
+- :func:`connected_components` — undirected components of the transition
+  graph, used by PAP's *connected component analysis*.
+- :func:`always_active_states` — states with a self-loop on every symbol,
+  PAP's *active state group*.
+- :func:`common_parents` — the predecessor set under one symbol, PAP's
+  *common parent* optimization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+
+__all__ = [
+    "dead_states",
+    "symbol_image",
+    "symbol_image_sizes",
+    "symbol_frequencies",
+    "connected_components",
+    "always_active_states",
+    "common_parents",
+    "UnionFind",
+]
+
+
+class UnionFind:
+    """Disjoint-set forest with path halving and union by size."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+    def groups(self) -> List[List[int]]:
+        by_root: Dict[int, List[int]] = {}
+        for x in range(len(self.parent)):
+            by_root.setdefault(self.find(x), []).append(x)
+        return list(by_root.values())
+
+
+def dead_states(dfa: Dfa) -> np.ndarray:
+    """Boolean mask of states that can never reach an accepting state.
+
+    Computed by reverse BFS from the accepting set.  A flow whose state is
+    dead can be dropped (the paper's *deactivation check*): its enumeration
+    path is known to produce no further reports.
+    """
+    n = dfa.num_states
+    alive = np.zeros(n, dtype=bool)
+    if dfa.accepting:
+        rev = dfa.reverse_edges()
+        queue = deque(int(a) for a in dfa.accepting)
+        for a in dfa.accepting:
+            alive[a] = True
+        while queue:
+            q = queue.popleft()
+            for p, _c in rev[q]:
+                if not alive[p]:
+                    alive[p] = True
+                    queue.append(p)
+    return ~alive
+
+
+def symbol_image(dfa: Dfa, symbol: int, states: Optional[Iterable[int]] = None) -> np.ndarray:
+    """States reachable in exactly one step on ``symbol``.
+
+    With ``states`` omitted this is the *feasible range* of the symbol:
+    wherever the machine was, after reading ``symbol`` it must be in this
+    set.  PAP cuts segments at symbols with small feasible ranges so each
+    segment starts from few possible states.
+    """
+    if states is None:
+        return np.unique(dfa.transitions[symbol])
+    idx = np.asarray(list(states), dtype=np.int32)
+    return np.unique(dfa.transitions[symbol].take(idx))
+
+
+def symbol_image_sizes(dfa: Dfa) -> np.ndarray:
+    """Feasible-range size for every symbol (vector of length alphabet)."""
+    return np.asarray(
+        [np.unique(dfa.transitions[c]).size for c in range(dfa.alphabet_size)],
+        dtype=np.int64,
+    )
+
+
+def symbol_frequencies(symbols: np.ndarray, alphabet_size: int) -> np.ndarray:
+    """Occurrence count of each symbol in an input string."""
+    return np.bincount(np.asarray(symbols, dtype=np.int64), minlength=alphabet_size)
+
+
+def connected_components(dfa: Dfa, states: Optional[Sequence[int]] = None) -> List[List[int]]:
+    """Undirected connected components of the transition graph.
+
+    Only edges between states in ``states`` (default: all) are considered.
+    PAP assigns one state per component to a single flow: because the
+    components are disjoint and closed under transitions, the merged flow's
+    active set never becomes ambiguous.
+    """
+    n = dfa.num_states
+    if states is None:
+        members = np.arange(n, dtype=np.int32)
+    else:
+        members = np.unique(np.asarray(list(states), dtype=np.int32))
+    in_scope = np.zeros(n, dtype=bool)
+    in_scope[members] = True
+    uf = UnionFind(n)
+    table = dfa.transitions
+    for c in range(dfa.alphabet_size):
+        row = table[c]
+        for q in members:
+            t = int(row[q])
+            if in_scope[t]:
+                uf.union(int(q), t)
+    by_root: Dict[int, List[int]] = {}
+    for q in members:
+        by_root.setdefault(uf.find(int(q)), []).append(int(q))
+    return sorted(by_root.values(), key=len, reverse=True)
+
+
+def always_active_states(dfa: Dfa) -> np.ndarray:
+    """States with a self-loop on *every* symbol.
+
+    In the NFA world these are "always active" states; in a DFA they are
+    absorbing states (dead sinks or saturated matchers).  They form a single
+    group whose enumeration outcome is the identity, so PAP dedicates one
+    flow to all of them.
+    """
+    n = dfa.num_states
+    idx = np.arange(n, dtype=np.int32)
+    loops = np.all(dfa.transitions == idx[None, :], axis=0)
+    return np.flatnonzero(loops).astype(np.int32)
+
+
+def common_parents(dfa: Dfa, symbol: int, targets: Iterable[int]) -> np.ndarray:
+    """All states whose ``symbol`` transition lands inside ``targets``.
+
+    PAP's *common parent* optimization: if the segment boundary were one
+    symbol earlier, only the parents need enumeration — often far fewer than
+    the feasible range itself.
+    """
+    target_mask = np.zeros(dfa.num_states, dtype=bool)
+    target_mask[list(targets)] = True
+    return np.flatnonzero(target_mask[dfa.transitions[symbol]]).astype(np.int32)

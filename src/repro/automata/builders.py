@@ -1,0 +1,104 @@
+"""DFA generators for testing and synthetic workloads.
+
+Random automata here are used by the property-based test-suite and by
+micro-benchmarks; the *benchmark-family* generators (ExactMatch, Snort, ...)
+live in :mod:`repro.workloads.rulesets` and go through the regex compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+
+__all__ = [
+    "random_dfa",
+    "convergent_random_dfa",
+    "cycle_dfa",
+    "literal_matcher_dfa",
+]
+
+
+def random_dfa(
+    num_states: int,
+    alphabet_size: int,
+    rng: np.random.Generator,
+    accepting_fraction: float = 0.1,
+) -> Dfa:
+    """A uniformly random complete DFA.
+
+    Every ``(state, symbol)`` pair maps to an independently uniform target.
+    Uniform DFAs converge extremely fast (the image of a random function
+    shrinks geometrically), which makes them good smoke tests but poor
+    stand-ins for real rulesets.
+    """
+    if num_states < 1:
+        raise ValueError("num_states must be >= 1")
+    table = rng.integers(0, num_states, size=(alphabet_size, num_states), dtype=np.int32)
+    n_acc = max(1, int(round(accepting_fraction * num_states)))
+    accepting = rng.choice(num_states, size=min(n_acc, num_states), replace=False)
+    return Dfa(table, int(rng.integers(num_states)), accepting.tolist())
+
+
+def convergent_random_dfa(
+    num_states: int,
+    alphabet_size: int,
+    rng: np.random.Generator,
+    locality: int = 2,
+    accepting_fraction: float = 0.1,
+) -> Dfa:
+    """A random DFA whose transitions are *local* (slow convergence).
+
+    Each transition from state ``q`` targets a state within ``locality`` of
+    ``q`` (mod N), so the state-set image shrinks slowly — closer to the
+    behaviour of deep literal-matching DFAs like ClamAV signatures.
+    """
+    if num_states < 1:
+        raise ValueError("num_states must be >= 1")
+    base = np.arange(num_states, dtype=np.int64)
+    offsets = rng.integers(-locality, locality + 1, size=(alphabet_size, num_states))
+    table = ((base[None, :] + offsets) % num_states).astype(np.int32)
+    n_acc = max(1, int(round(accepting_fraction * num_states)))
+    accepting = rng.choice(num_states, size=min(n_acc, num_states), replace=False)
+    return Dfa(table, int(rng.integers(num_states)), accepting.tolist())
+
+
+def cycle_dfa(num_states: int, alphabet_size: int = 2) -> Dfa:
+    """A permutation DFA (rotation) — the worst case for convergence.
+
+    Symbol 0 advances the cycle, other symbols hold position.  No two states
+    ever converge, so enumerative engines keep all N flows alive forever:
+    useful for exercising the re-execution machinery.
+    """
+    base = np.arange(num_states, dtype=np.int32)
+    table = np.tile(base, (alphabet_size, 1))
+    table[0] = (base + 1) % num_states
+    return Dfa(table, 0, [num_states - 1])
+
+
+def literal_matcher_dfa(pattern: Sequence[int], alphabet_size: int) -> Dfa:
+    """KMP-style DFA scanning for one literal pattern anywhere in the input.
+
+    State ``k`` means "the last k symbols read are the longest prefix of the
+    pattern that is a suffix of the input"; state ``len(pattern)`` accepts
+    and absorbs.  Built directly (no regex round-trip) for tests.
+    """
+    pattern = [int(p) for p in pattern]
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    if any(not (0 <= p < alphabet_size) for p in pattern):
+        raise ValueError("pattern symbol out of alphabet")
+    m = len(pattern)
+    table = np.zeros((alphabet_size, m + 1), dtype=np.int32)
+    # Knuth-Morris-Pratt DFA construction (Sedgewick): X is the state the
+    # machine would be in after reading pattern[1:j], i.e. the restart state.
+    table[pattern[0], 0] = 1
+    restart = 0
+    for j in range(1, m):
+        table[:, j] = table[:, restart]
+        table[pattern[j], j] = j + 1
+        restart = int(table[pattern[j], restart])
+    table[:, m] = m  # accepting sink
+    return Dfa(table, 0, [m])

@@ -1,0 +1,89 @@
+"""DFA serialization: compile once, deploy many.
+
+Ruleset compilation (parse → Thompson → subset → Hopcroft) is the
+expensive offline step; deployments load the finished machine.  Two
+formats:
+
+- ``.npz`` (:func:`save_dfa` / :func:`load_dfa`) — the transition table as
+  a compressed numpy archive; compact and fast, the production format.
+- plain dict (:func:`dfa_to_dict` / :func:`dfa_from_dict`) — JSON-able,
+  for configuration pipelines and tests.
+
+Both round-trip exactly (table, start, accepting set).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+
+__all__ = ["save_dfa", "load_dfa", "dfa_to_dict", "dfa_from_dict",
+           "save_dfa_json", "load_dfa_json"]
+
+FORMAT_VERSION = 1
+
+
+def save_dfa(dfa: Dfa, path: Union[str, Path]) -> None:
+    """Write a DFA as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        version=np.asarray([FORMAT_VERSION]),
+        transitions=dfa.transitions,
+        start=np.asarray([dfa.start]),
+        accepting=np.asarray(sorted(dfa.accepting), dtype=np.int64),
+    )
+
+
+def load_dfa(path: Union[str, Path]) -> Dfa:
+    """Load a DFA written by :func:`save_dfa`."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["version"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported DFA format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        return Dfa(
+            archive["transitions"],
+            int(archive["start"][0]),
+            archive["accepting"].tolist(),
+        )
+
+
+def dfa_to_dict(dfa: Dfa) -> Dict:
+    """JSON-ready representation (row-major transition lists)."""
+    return {
+        "version": FORMAT_VERSION,
+        "alphabet_size": dfa.alphabet_size,
+        "num_states": dfa.num_states,
+        "start": dfa.start,
+        "accepting": sorted(dfa.accepting),
+        "transitions": dfa.transitions.tolist(),
+    }
+
+
+def dfa_from_dict(data: Dict) -> Dfa:
+    """Inverse of :func:`dfa_to_dict` (validates shape and version)."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported DFA format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    table = np.asarray(data["transitions"], dtype=np.int32)
+    if table.shape != (data["alphabet_size"], data["num_states"]):
+        raise ValueError("transition table shape does not match metadata")
+    return Dfa(table, int(data["start"]), data["accepting"])
+
+
+def save_dfa_json(dfa: Dfa, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(dfa_to_dict(dfa)))
+
+
+def load_dfa_json(path: Union[str, Path]) -> Dfa:
+    return dfa_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,128 @@
+"""Hopcroft DFA minimization.
+
+Minimization keeps the synthetic benchmark DFAs honest: convergence behaviour
+(the phenomenon CSE exploits) must come from the ruleset structure, not from
+redundant equivalent states that would converge trivially.  Hopcroft's
+algorithm is itself an instance of *partition refinement* — the same
+machinery (Paige & Tarjan) the paper reuses to merge convergence partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+
+__all__ = ["minimize", "prune_unreachable"]
+
+
+def prune_unreachable(dfa: Dfa) -> Dfa:
+    """Drop states unreachable from the start state (renumbering the rest)."""
+    reachable = dfa.reachable_states()
+    if reachable.size == dfa.num_states:
+        return dfa
+    remap = np.full(dfa.num_states, -1, dtype=np.int32)
+    remap[reachable] = np.arange(reachable.size, dtype=np.int32)
+    table = remap[dfa.transitions[:, reachable]]
+    accepting = [int(remap[a]) for a in dfa.accepting if remap[a] >= 0]
+    return Dfa(table, int(remap[dfa.start]), accepting)
+
+
+def minimize(dfa: Dfa) -> Dfa:
+    """Return the minimal DFA equivalent to ``dfa``.
+
+    Unreachable states are pruned first; then Hopcroft's partition refinement
+    merges language-equivalent states.  The result is canonical up to state
+    numbering (we number blocks by their smallest member, which makes the
+    output deterministic for a given input).
+    """
+    dfa = prune_unreachable(dfa)
+    n = dfa.num_states
+    if n == 1:
+        return dfa
+
+    accepting = set(int(a) for a in dfa.accepting)
+    non_accepting = set(range(n)) - accepting
+
+    # block id per state; blocks stored as sets
+    blocks: List[Set[int]] = []
+    block_of = np.empty(n, dtype=np.int64)
+    for group in (accepting, non_accepting):
+        if group:
+            block_of[list(group)] = len(blocks)
+            blocks.append(set(group))
+
+    if len(blocks) == 1:
+        # All states equivalent: single-state DFA.
+        table = np.zeros((dfa.alphabet_size, 1), dtype=np.int32)
+        return Dfa(table, 0, [0] if accepting else [])
+
+    # Precompute reverse transitions: rev[c][q] = list of predecessors of q on c
+    rev: List[List[List[int]]] = [
+        [[] for _ in range(n)] for _ in range(dfa.alphabet_size)
+    ]
+    table = dfa.transitions
+    for c in range(dfa.alphabet_size):
+        row = table[c]
+        for p in range(n):
+            rev[c][int(row[p])].append(p)
+
+    # Hopcroft worklist: (block_index, symbol) pairs
+    worklist = set()
+    smaller = 0 if len(blocks[0]) <= len(blocks[1]) else 1
+    for c in range(dfa.alphabet_size):
+        worklist.add((smaller, c))
+
+    while worklist:
+        splitter_idx, c = worklist.pop()
+        splitter = blocks[splitter_idx]
+        # X = states with a c-transition into the splitter
+        x: Set[int] = set()
+        rc = rev[c]
+        for q in splitter:
+            x.update(rc[q])
+        if not x:
+            continue
+        # Group X members by their current block
+        touched: Dict[int, Set[int]] = {}
+        for p in x:
+            touched.setdefault(int(block_of[p]), set()).add(p)
+        for b_idx, intersect in touched.items():
+            block = blocks[b_idx]
+            if len(intersect) == len(block):
+                continue  # block entirely inside X; no split
+            remainder = block - intersect
+            # Keep the remainder in place, move the intersection out.
+            blocks[b_idx] = remainder
+            new_idx = len(blocks)
+            blocks.append(intersect)
+            for q in intersect:
+                block_of[q] = new_idx
+            # Update worklist per Hopcroft: if (b_idx, a) pending, also add
+            # (new_idx, a); else add the smaller half.
+            for a in range(dfa.alphabet_size):
+                if (b_idx, a) in worklist:
+                    worklist.add((new_idx, a))
+                elif len(intersect) <= len(remainder):
+                    worklist.add((new_idx, a))
+                else:
+                    worklist.add((b_idx, a))
+
+    # Canonical renumbering: block rank by smallest original member.
+    reps = sorted(range(len(blocks)), key=lambda b: min(blocks[b]) if blocks[b] else n)
+    reps = [b for b in reps if blocks[b]]
+    new_id: Dict[int, int] = {b: i for i, b in enumerate(reps)}
+    m = len(reps)
+    out = np.empty((dfa.alphabet_size, m), dtype=np.int32)
+    accepting_out = []
+    for b in reps:
+        i = new_id[b]
+        rep = min(blocks[b])
+        for c in range(dfa.alphabet_size):
+            out[c, i] = new_id[int(block_of[table[c, rep]])]
+        if rep in accepting:
+            accepting_out.append(i)
+    start = new_id[int(block_of[dfa.start])]
+    return Dfa(out, start, accepting_out)

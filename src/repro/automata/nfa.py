@@ -1,0 +1,142 @@
+"""Sparse nondeterministic finite automata with epsilon transitions.
+
+The regex compiler (:mod:`repro.regex.compile`) produces Thompson NFAs;
+:mod:`repro.automata.subset` turns them into the dense :class:`Dfa` used by
+every engine.  The representation is deliberately sparse (dict of dicts)
+because Thompson NFAs have at most two outgoing edges per state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Nfa", "EPSILON"]
+
+#: Pseudo-symbol used for epsilon (empty-string) transitions.
+EPSILON: int = -1
+
+
+class Nfa:
+    """A nondeterministic finite automaton over integer symbols.
+
+    States are created through :meth:`add_state`; transitions through
+    :meth:`add_transition` (symbol ``EPSILON`` marks an epsilon edge).
+    """
+
+    def __init__(self, alphabet_size: int):
+        if alphabet_size <= 0:
+            raise ValueError("alphabet_size must be positive")
+        self.alphabet_size = int(alphabet_size)
+        #: transitions[state][symbol] -> set of target states
+        self.transitions: List[Dict[int, Set[int]]] = []
+        self.start: int = -1
+        self.accepting: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def add_state(self) -> int:
+        """Create a fresh state and return its id."""
+        self.transitions.append({})
+        return len(self.transitions) - 1
+
+    def add_transition(self, source: int, symbol: int, target: int) -> None:
+        """Add an edge; ``symbol`` may be :data:`EPSILON`."""
+        if symbol != EPSILON and not (0 <= symbol < self.alphabet_size):
+            raise ValueError(f"symbol {symbol} out of range")
+        if not (0 <= source < self.num_states and 0 <= target < self.num_states):
+            raise ValueError("state id out of range")
+        self.transitions[source].setdefault(symbol, set()).add(target)
+
+    def add_symbols_transition(self, source: int, symbols: Iterable[int], target: int) -> None:
+        """Add one edge per symbol in ``symbols`` (a character class)."""
+        for sym in symbols:
+            self.add_transition(source, sym, target)
+
+    def set_start(self, state: int) -> None:
+        if not (0 <= state < self.num_states):
+            raise ValueError("state id out of range")
+        self.start = state
+
+    def add_accepting(self, state: int) -> None:
+        if not (0 <= state < self.num_states):
+            raise ValueError("state id out of range")
+        self.accepting.add(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"Nfa(states={self.num_states}, alphabet={self.alphabet_size}, "
+            f"start={self.start}, accepting={len(self.accepting)})"
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` via epsilon edges."""
+        closure: Set[int] = set(states)
+        stack = list(closure)
+        while stack:
+            q = stack.pop()
+            for t in self.transitions[q].get(EPSILON, ()):
+                if t not in closure:
+                    closure.add(t)
+                    stack.append(t)
+        return frozenset(closure)
+
+    def step_set(self, states: Iterable[int], symbol: int) -> FrozenSet[int]:
+        """Image of a state set under one symbol, with closure applied."""
+        moved: Set[int] = set()
+        for q in states:
+            moved.update(self.transitions[q].get(symbol, ()))
+        return self.epsilon_closure(moved)
+
+    def run(self, symbols) -> FrozenSet[int]:
+        """Run from the start state; returns the final active state set."""
+        if self.start < 0:
+            raise RuntimeError("start state not set")
+        cur = self.epsilon_closure([self.start])
+        for sym in symbols:
+            cur = self.step_set(cur, int(sym))
+        return cur
+
+    def accepts(self, symbols) -> bool:
+        """Whether the run ends with at least one accepting state active."""
+        return bool(self.run(symbols) & self.accepting)
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    @staticmethod
+    def union(nfas: List["Nfa"]) -> "Nfa":
+        """Combine pattern NFAs under a fresh start with epsilon edges.
+
+        This is how a multi-pattern ruleset (e.g. a Snort rule file) becomes
+        one automaton; accepting states of every component are preserved.
+        """
+        if not nfas:
+            raise ValueError("need at least one NFA")
+        alphabet = nfas[0].alphabet_size
+        if any(n.alphabet_size != alphabet for n in nfas):
+            raise ValueError("all NFAs must share an alphabet")
+        combined = Nfa(alphabet)
+        root = combined.add_state()
+        combined.set_start(root)
+        for nfa in nfas:
+            if nfa.start < 0:
+                raise RuntimeError("component NFA has no start state")
+            offset = combined.num_states
+            for _ in range(nfa.num_states):
+                combined.add_state()
+            for q, edges in enumerate(nfa.transitions):
+                for sym, targets in edges.items():
+                    for t in targets:
+                        combined.add_transition(offset + q, sym, offset + t)
+            combined.add_transition(root, EPSILON, offset + nfa.start)
+            for a in nfa.accepting:
+                combined.add_accepting(offset + a)
+        return combined

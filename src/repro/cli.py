@@ -1,0 +1,323 @@
+"""Command-line interface.
+
+Mirrors the paper's deployment workflow:
+
+- ``repro compile``  — compile a ruleset file to a DFA and report its size;
+- ``repro profile``  — random-input profiling + merge, saving the predicted
+  convergence sets to JSON (the offline step);
+- ``repro run``      — scan an input file with a chosen engine, printing
+  final state, reports, and modeled speedup;
+- ``repro suite``    — run one or all Table-I benchmarks and print the
+  Figure-12 style comparison;
+- ``repro figures``  — regenerate a named paper artifact (fig12, fig13, ...);
+- ``repro anml``     — load an ANMLZoo automaton file and report/scan it;
+- ``repro plan``     — pick the best half-core allocation for a ruleset
+  using the closed-form performance model.
+
+Examples::
+
+    python -m repro.cli compile rules.txt
+    python -m repro.cli profile rules.txt --cutoff 0.99 -o sets.json
+    python -m repro.cli run rules.txt input.bin --engine cse --segments 16
+    python -m repro.cli suite --benchmark Snort
+    python -m repro.cli figures fig12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.report import render_grouped, render_series, render_table
+from repro.core.engine import CseEngine
+from repro.core.profiling import ProfilingConfig, merge_to_cutoff, profile_partitions
+from repro.core.store import load_partition, save_partition
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+from repro.engines.sequential import SequentialEngine
+from repro.regex.compile import compile_ruleset
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_rules(path: str) -> List[str]:
+    lines = Path(path).read_text().splitlines()
+    rules = [line.strip() for line in lines if line.strip() and not line.startswith("#")]
+    if not rules:
+        raise SystemExit(f"no rules found in {path}")
+    return rules
+
+
+def _compile(args) -> int:
+    rules = _read_rules(args.rules)
+    dfa = compile_ruleset(rules, minimize=not args.no_minimize)
+    print(f"{len(rules)} rules -> {dfa.num_states} states "
+          f"({len(dfa.accepting)} accepting, alphabet {dfa.alphabet_size})")
+    return 0
+
+
+def _profile(args) -> int:
+    rules = _read_rules(args.rules)
+    dfa = compile_ruleset(rules)
+    config = ProfilingConfig(
+        n_inputs=args.inputs,
+        input_len=args.length,
+        symbol_low=args.symbol_low,
+        symbol_high=args.symbol_high,
+        seed=args.seed,
+    )
+    census = profile_partitions(dfa, config)
+    result = merge_to_cutoff(census, cutoff=args.cutoff)
+    print(f"profiled {args.inputs} strings: {len(census)} distinct partitions")
+    print(f"merged to {result.num_convergence_sets} convergence sets "
+          f"covering {result.covered:.1%}")
+    if args.output:
+        save_partition(result.partition, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _make_engine(name: str, dfa, args, partition=None):
+    common = dict(n_segments=args.segments, cores_per_segment=args.cores)
+    if name == "sequential":
+        return SequentialEngine(dfa)
+    if name == "enumerative":
+        return EnumerativeEngine(dfa, **common)
+    if name == "lbe":
+        return LbeEngine(dfa, lookback=args.lookback, **common)
+    if name == "pap":
+        return PapEngine(dfa, **common)
+    if name == "cse":
+        if partition is not None:
+            return CseEngine(dfa, partition=partition, **common)
+        return CseEngine(
+            dfa,
+            profiling=ProfilingConfig(
+                n_inputs=300, input_len=200,
+                symbol_low=args.symbol_low, symbol_high=args.symbol_high,
+            ),
+            merge_cutoff=args.cutoff,
+            **common,
+        )
+    raise SystemExit(f"unknown engine {name!r}")
+
+
+def _run(args) -> int:
+    rules = _read_rules(args.rules)
+    dfa = compile_ruleset(rules)
+    data = Path(args.input).read_bytes()
+    partition = load_partition(args.partition) if args.partition else None
+    engine = _make_engine(args.engine, dfa, args, partition)
+    result = engine.run(data)
+    baseline = SequentialEngine(dfa).run(data)
+    if result.final_state != baseline.final_state:
+        raise SystemExit("engine diverged from the sequential oracle")
+    print(f"engine: {engine.name}")
+    print(f"input: {result.n_symbols} symbols in {result.n_segments} segments")
+    print(f"final state: {result.final_state}")
+    print(f"cycles: {result.cycles} (baseline {result.baseline_cycles})")
+    print(f"speedup: {result.speedup:.2f}x of ideal {result.ideal_speedup:.0f}x")
+    print(f"R0 {result.r0_mean:.2f}  RT {result.rt_mean:.2f}  "
+          f"re-executed segments {result.reexec_segments}")
+    if args.reports:
+        reports = baseline.reports or []
+        print(f"reports ({len(reports)}):")
+        for offset, state in reports[: args.reports]:
+            print(f"  offset {offset}: state {state}")
+    return 0
+
+
+def _suite(args) -> int:
+    from repro.analysis.experiments import evaluate_suite
+
+    names = [args.benchmark] if args.benchmark else None
+    sweep = evaluate_suite(scale=args.scale, names=names)
+    rows = []
+    for name, stats in sweep.items():
+        row = {"Benchmark": name}
+        for engine, s in stats.items():
+            if engine == "Baseline":
+                continue
+            row[engine] = f"{s.speedup:.2f}x"
+        rows.append(row)
+    print(render_table(rows))
+    return 0
+
+
+def _figures(args) -> int:
+    from repro.analysis import experiments as exp
+
+    name = args.figure.lower()
+    if name in ("table1",):
+        print(render_table(exp.table1(scale=args.scale)))
+    elif name in ("table2",):
+        print(render_table(exp.table2()))
+    elif name == "fig8":
+        freqs = exp.fig8_mfp_frequency(scale=args.scale)
+        print(render_series({k: f"{v:.1%}" for k, v in freqs.items()},
+                            name="MFP frequency"))
+    elif name == "fig12":
+        print(render_grouped(exp.fig12_speedup(scale=args.scale),
+                             columns=["LBE", "PAP", "CSE", "IDEAL"]))
+    elif name == "fig13":
+        print(render_grouped(exp.fig13_r0(scale=args.scale),
+                             columns=["LBE", "PAP", "CSE"]))
+    elif name == "fig14":
+        print(render_grouped(exp.fig14_rt(scale=args.scale),
+                             columns=["LBE", "PAP", "CSE"]))
+    elif name == "fig15":
+        data = exp.fig15_lbe_lookback(scale=args.scale)
+        printable = {
+            n: {str(k): v for k, v in row.items()} for n, row in data.items()
+        }
+        print(render_grouped(printable, columns=["10", "20", "30", "100"]))
+    elif name == "fig16":
+        print(render_grouped(exp.fig16_cse_r0_by_merge(scale=args.scale),
+                             columns=list(exp.MERGE_STRATEGIES)))
+    elif name == "fig17":
+        print(render_grouped(exp.fig17_cse_speedup_by_merge(scale=args.scale),
+                             columns=list(exp.MERGE_STRATEGIES)))
+    elif name == "fig18":
+        data = exp.fig18_reexec_rate_by_merge(scale=args.scale)
+        print(render_grouped(
+            {n: {s: f"{v:.2%}" for s, v in row.items()} for n, row in data.items()},
+            columns=list(exp.MERGE_STRATEGIES)))
+    else:
+        raise SystemExit(
+            "unknown figure; pick from table1 table2 fig8 fig12 fig13 fig14 "
+            "fig15 fig16 fig17 fig18"
+        )
+    return 0
+
+
+def _anml(args) -> int:
+    from repro.workloads.anml import load_anml_dfa
+
+    dfa = load_anml_dfa(args.anml_file)
+    print(f"ANML automaton: {dfa.num_states} states, "
+          f"{len(dfa.accepting)} reporting")
+    if args.input:
+        data = Path(args.input).read_bytes()
+        reports = dfa.run_reports(data)
+        print(f"scanned {len(data)} bytes: {len(reports)} report events")
+        for offset, state in reports[: args.reports]:
+            print(f"  offset {offset}: state {state}")
+    return 0
+
+
+def _plan(args) -> int:
+    import numpy as np
+
+    from repro.analysis.convergence import symbols_to_stabilize
+    from repro.analysis.model import SegmentModel
+    from repro.hardware.allocation import plan_allocation
+
+    rules = _read_rules(args.rules)
+    dfa = compile_ruleset(rules)
+    config = ProfilingConfig(
+        n_inputs=args.inputs, input_len=args.length,
+        symbol_low=args.symbol_low, symbol_high=args.symbol_high,
+    )
+    census = profile_partitions(dfa, config)
+    merged = merge_to_cutoff(census, cutoff=args.cutoff)
+    rng = np.random.default_rng(config.seed + 1)
+    probes = [config.random_input(rng, dfa.alphabet_size) for _ in range(20)]
+    t_stab = sum(symbols_to_stabilize(dfa, p) for p in probes) / len(probes)
+    all_states = np.arange(dfa.num_states, dtype=np.int32)
+    floor = sum(dfa.set_run(all_states, p).size for p in probes) / len(probes)
+    model = SegmentModel(
+        r0=max(float(merged.num_convergence_sets), floor),
+        t_stabilize=t_stab,
+        r_floor=floor,
+    )
+    plan = plan_allocation(model, input_len=args.input_len)
+    print(f"{len(rules)} rules -> {dfa.num_states} states; "
+          f"{merged.num_convergence_sets} convergence sets "
+          f"(coverage {merged.covered:.1%})")
+    print(f"model: r0={model.r0:.1f} t_stabilize={model.t_stabilize:.0f} "
+          f"r_floor={model.r_floor:.1f}")
+    print(f"recommended allocation: {plan.cores_per_segment} half-core(s) x "
+          f"{plan.n_segments} segments "
+          f"(predicted speedup {plan.predicted_speedup:.1f}x)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSE: parallel FSMs with convergence set enumeration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a ruleset file")
+    p_compile.add_argument("rules", help="file with one regex per line")
+    p_compile.add_argument("--no-minimize", action="store_true")
+    p_compile.set_defaults(func=_compile)
+
+    p_profile = sub.add_parser("profile", help="predict convergence sets")
+    p_profile.add_argument("rules")
+    p_profile.add_argument("--inputs", type=int, default=1000)
+    p_profile.add_argument("--length", type=int, default=200)
+    p_profile.add_argument("--symbol-low", type=int, default=0)
+    p_profile.add_argument("--symbol-high", type=int, default=255)
+    p_profile.add_argument("--cutoff", type=float, default=0.99)
+    p_profile.add_argument("--seed", type=int, default=20180623)
+    p_profile.add_argument("-o", "--output", help="save partition JSON here")
+    p_profile.set_defaults(func=_profile)
+
+    p_run = sub.add_parser("run", help="scan an input file")
+    p_run.add_argument("rules")
+    p_run.add_argument("input", help="binary input file")
+    p_run.add_argument("--engine", default="cse",
+                       choices=["sequential", "enumerative", "lbe", "pap", "cse"])
+    p_run.add_argument("--segments", type=int, default=16)
+    p_run.add_argument("--cores", type=int, default=1)
+    p_run.add_argument("--lookback", type=int, default=20)
+    p_run.add_argument("--cutoff", type=float, default=0.99)
+    p_run.add_argument("--symbol-low", type=int, default=0)
+    p_run.add_argument("--symbol-high", type=int, default=255)
+    p_run.add_argument("--partition", help="partition JSON from `profile -o`")
+    p_run.add_argument("--reports", type=int, default=0,
+                       help="print up to N report events")
+    p_run.set_defaults(func=_run)
+
+    p_suite = sub.add_parser("suite", help="run Table-I benchmarks")
+    p_suite.add_argument("--benchmark", help="one benchmark (default: all)")
+    p_suite.add_argument("--scale", type=float, default=1.0)
+    p_suite.set_defaults(func=_suite)
+
+    p_fig = sub.add_parser("figures", help="regenerate a paper artifact")
+    p_fig.add_argument("figure", help="table1|table2|fig8|fig12|...|fig18")
+    p_fig.add_argument("--scale", type=float, default=1.0)
+    p_fig.set_defaults(func=_figures)
+
+    p_anml = sub.add_parser("anml", help="load/scan an ANML automaton")
+    p_anml.add_argument("anml_file")
+    p_anml.add_argument("--input", help="binary file to scan")
+    p_anml.add_argument("--reports", type=int, default=5)
+    p_anml.set_defaults(func=_anml)
+
+    p_plan = sub.add_parser("plan", help="recommend a half-core allocation")
+    p_plan.add_argument("rules")
+    p_plan.add_argument("--inputs", type=int, default=300)
+    p_plan.add_argument("--length", type=int, default=300)
+    p_plan.add_argument("--input-len", type=int, default=4800)
+    p_plan.add_argument("--cutoff", type=float, default=0.99)
+    p_plan.add_argument("--symbol-low", type=int, default=0)
+    p_plan.add_argument("--symbol-high", type=int, default=255)
+    p_plan.set_defaults(func=_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""CSE — Convergence Set Enumeration (the paper's contribution).
+
+The pieces, mirroring Section IV of the paper:
+
+- :mod:`~repro.core.setfsm` — the ``set(N) -> set(M)`` computation
+  primitive (Section III).
+- :mod:`~repro.core.partition` — state-set partitions and the partition
+  refinement algorithm (Figure 10).
+- :mod:`~repro.core.profiling` — convergence set *prediction*: random-input
+  profiling, the maximum-frequency partition (Figure 8), and the merge
+  strategy with cut-off coverage (Section IV-B2).
+- :mod:`~repro.core.transition` — per-segment transition functions
+  ``T: ST -> ST`` and their execution with set-flows (Section IV-C
+  formalization).
+- :mod:`~repro.core.reexec` — the global re-execution algorithm: basic,
+  last-concrete, and opportunistic re-evaluation policies.
+- :mod:`~repro.core.engine` — :class:`CseEngine`, tying it all together
+  under the common :class:`~repro.engines.base.Engine` interface.
+"""
+
+from repro.core.partition import StatePartition
+from repro.core.profiling import (
+    ProfilingConfig,
+    profile_partitions,
+    maximum_frequency_partition,
+    covered_fraction,
+    merge_to_cutoff,
+    MergeResult,
+    predict_convergence_sets,
+)
+from repro.core.setfsm import SetFsm
+from repro.core.transition import CsOutcome, SegmentFunction, execute_segment
+from repro.core.reexec import ReexecutionStats, compose_and_fix
+from repro.core.engine import CseEngine
+from repro.core.adaptive import AdaptiveCseEngine
+from repro.core.hybrid import HybridCseEngine
+from repro.core.recovery import RecoveredRun, recover_reports
+from repro.core import store
+
+__all__ = [
+    "StatePartition",
+    "ProfilingConfig",
+    "profile_partitions",
+    "maximum_frequency_partition",
+    "covered_fraction",
+    "merge_to_cutoff",
+    "MergeResult",
+    "predict_convergence_sets",
+    "SetFsm",
+    "CsOutcome",
+    "SegmentFunction",
+    "execute_segment",
+    "ReexecutionStats",
+    "compose_and_fix",
+    "CseEngine",
+    "AdaptiveCseEngine",
+    "HybridCseEngine",
+    "RecoveredRun",
+    "recover_reports",
+    "store",
+]

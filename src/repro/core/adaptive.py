@@ -1,0 +1,141 @@
+"""Online refinement of convergence sets (an extension beyond the paper).
+
+The paper predicts convergence sets *offline* from random profiling and
+never revisits them.  When the deployed input distribution drifts away
+from the profiling distribution, mispredicted sets keep diverging and
+every divergence pays a re-execution.  This module closes that loop:
+:class:`AdaptiveCseEngine` watches its own runs and refines the partition
+with the divergence patterns it actually observes, so a systematically
+diverging convergence set is split once and stops costing re-executions.
+
+The update rule is conservative and sound: an observed divergence of block
+``B`` into final-state groups ``B1..Bk`` is itself a partition of ``B``;
+refining the current partition with it (the paper's own Figure-10
+operation) yields a partition under which that input would have converged.
+Soundness of execution is untouched — the partition is only ever refined
+between runs, and any partition is valid for CSE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+
+__all__ = ["AdaptiveCseEngine"]
+
+
+class AdaptiveCseEngine(CseEngine):
+    """CSE that learns from its own divergences.
+
+    Parameters beyond :class:`CseEngine`:
+
+    min_divergences:
+        Refine only after a block has diverged this many times (hysteresis
+        so one-off straddles don't inflate the partition).
+    max_blocks:
+        Hard cap on partition growth; refinements that would exceed it are
+        skipped (mirrors the paper's concern about Protomata's 61-subset
+        blow-up).
+    """
+
+    def __init__(
+        self,
+        dfa: Dfa,
+        min_divergences: int = 2,
+        max_blocks: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(dfa, **kwargs)
+        if min_divergences < 1:
+            raise ValueError("min_divergences must be >= 1")
+        self.min_divergences = min_divergences
+        self.max_blocks = max_blocks
+        #: observed divergence patterns awaiting promotion:
+        #: canonical split partition -> occurrence count
+        self._pending: Dict[StatePartition, int] = {}
+        self.refinements_applied = 0
+
+    def run(self, symbols, start_state=None):
+        result = super().run(symbols, start_state)
+        self._learn_from_run()
+        return result
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+    def _learn_from_run(self) -> None:
+        """Harvest divergence patterns from the segments just executed."""
+        for function in self._last_functions:
+            for cs_index, outcome in enumerate(function.outcomes):
+                if outcome.converged:
+                    continue
+                split = self._split_partition(cs_index, outcome.states)
+                if split is None:
+                    continue
+                count = self._pending.get(split, 0) + 1
+                self._pending[split] = count
+                if count >= self.min_divergences:
+                    self._apply(split)
+
+    def _split_partition(
+        self, cs_index: int, final_states: np.ndarray
+    ) -> Optional[StatePartition]:
+        """The partition expressing "split this block by its outcome".
+
+        The diverged block's members are regrouped by which final state
+        their own ``state -> state`` path reached.  That per-member
+        information is not retained by set flows, so we recover it with a
+        targeted replay of the block — an offline-side cost, mirroring how
+        a deployment would learn from logged divergences, never on the
+        latency-critical path.
+        """
+        block = sorted(self.partition.blocks[cs_index])
+        if len(block) < 2:
+            return None
+        segment = self._last_divergent_segment(cs_index)
+        if segment is None:
+            return None
+        finals = {q: int(self.dfa.run(segment, state=q)) for q in block}
+        groups: Dict[int, List[int]] = {}
+        for q, f in finals.items():
+            groups.setdefault(f, []).append(q)
+        if len(groups) < 2:
+            return None
+        # extend the block split to a full-state partition by leaving every
+        # other current block intact
+        blocks = [
+            sorted(b) for i, b in enumerate(self.partition.blocks)
+            if i != cs_index
+        ]
+        blocks.extend(groups.values())
+        return StatePartition(blocks, self.dfa.num_states)
+
+    def _last_divergent_segment(self, cs_index: int) -> Optional[np.ndarray]:
+        """Find one segment of the last run where this set diverged."""
+        if not hasattr(self, "_last_syms"):
+            return None
+        for function, (a, b) in zip(self._last_functions, self._last_bounds[1:]):
+            if not function.outcomes[cs_index].converged:
+                return self._last_syms[a:b]
+        return None
+
+    def _apply(self, split: StatePartition) -> None:
+        refined = self.partition.refine(split)
+        if refined == self.partition:
+            return
+        if self.max_blocks is not None and refined.num_blocks > self.max_blocks:
+            return
+        self.partition = refined
+        self.refinements_applied += 1
+        self._pending.clear()  # block indices changed; restart observation
+
+    # retain the symbols of the last run for replay
+    def _prepare(self, symbols, start_state):
+        syms, start = super()._prepare(symbols, start_state)
+        self._last_syms = syms
+        return syms, start

@@ -1,0 +1,139 @@
+"""CSE + lookback hybrid (an extension combining Sections II-C and IV).
+
+CSE and LBE both build on the set-FSM primitive but use it differently:
+LBE shrinks the *start set* with a lookback pass; CSE partitions it into
+convergence sets.  The two compose naturally — and the paper's own
+Section III-B observation ("the most natural application [of
+set(N)->set(M)] is to compute the lookback") invites it:
+
+1. run LBE's lookback over the previous segment's suffix (one set-flow,
+   ``L`` cycles) to get the feasible boundary set ``F``;
+2. start each convergence set's flow from ``CS ∩ F`` instead of ``CS``.
+
+Benefits over plain CSE:
+
+- convergence sets with no feasible member are *pruned* — zero flows,
+  zero cycles (plain CSE runs them to cover states that provably cannot
+  occur);
+- the surviving sets start smaller, so they converge no later and
+  sometimes strictly earlier (a set that diverges from all of CS may
+  converge from CS ∩ F — fewer re-executions).
+
+Soundness: the true boundary state of every segment lies in ``F`` (it is
+the image of the previous segment's suffix), and composition values only
+ever contain reachable boundary states, so restricting each set to its
+feasible members never discards a state the composition can ask about.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+from repro.core.engine import CseEngine
+from repro.core.reexec import compose_and_fix
+from repro.core.transition import SegmentFunction, execute_segment
+from repro.engines.base import RunResult, SegmentTrace, even_boundaries
+from repro.hardware.cost import segment_cycles
+
+__all__ = ["HybridCseEngine"]
+
+
+class HybridCseEngine(CseEngine):
+    """CSE with a lookback-pruned start set per segment.
+
+    Parameters beyond :class:`CseEngine`:
+
+    lookback:
+        Suffix length of the lookback pass (LBE's ``L``).  The pass costs
+        ``L`` cycles of prologue per segment and is itself one set-flow.
+    """
+
+    display_name = "HybridCSE"
+    building_block = "set FSM"
+    static_optimization = "convergence set prediction + lookback pruning"
+    dynamic_optimization = "convergence check and deactivation check"
+
+    def __init__(self, dfa: Dfa, lookback: int = 20, **kwargs):
+        super().__init__(dfa, **kwargs)
+        if lookback < 0:
+            raise ValueError("lookback must be >= 0")
+        self.lookback = lookback
+
+    def run(self, symbols, start_state: Optional[int] = None) -> RunResult:
+        syms, start = self._prepare(symbols, start_state)
+        bounds = even_boundaries(int(syms.size), self.n_segments)
+        traces: List[SegmentTrace] = []
+        functions: List[SegmentFunction] = []
+        enum_bounds: List[Tuple[int, int]] = []
+        first_final = start
+        pruned_sets = 0
+        all_states = np.arange(self.dfa.num_states, dtype=np.int32)
+        base_blocks = self.partition.block_arrays()
+        for i, (a, b) in enumerate(bounds):
+            segment = syms[a:b]
+            if i == 0:
+                first_final = self.dfa.run(segment, start)
+                cycles = int(segment.size) * self.config.symbol_cycles
+                traces.append(
+                    SegmentTrace(a, b, [1] * (int(segment.size) + 1), cycles)
+                )
+                continue
+            # lookback pass: one set-flow over the previous suffix
+            prev_start = bounds[i - 1][0]
+            lb_from = max(prev_start, a - self.lookback)
+            suffix = syms[lb_from:a]
+            feasible = self.dfa.set_run(all_states, suffix)
+            lookback_cycles = int(suffix.size) * self.config.symbol_cycles
+            # prune each convergence set to its feasible members
+            restricted = [
+                np.intersect1d(block, feasible, assume_unique=True)
+                for block in base_blocks
+            ]
+            pruned_sets += sum(1 for r in restricted if r.size == 0)
+            function, r_trace = execute_segment(
+                self.dfa,
+                self.partition,
+                segment,
+                inactive_mask=self._inactive_mask,
+                track_reports=self.track_reports,
+                blocks=restricted,
+            )
+            cycles = segment_cycles(
+                r_trace[:-1],
+                self.cores_per_segment,
+                self.config,
+                checks=True,
+                prologue_cycles=lookback_cycles,
+            )
+            traces.append(SegmentTrace(a, b, r_trace, cycles))
+            functions.append(function)
+            enum_bounds.append((a, b))
+
+        final, stats = compose_and_fix(
+            self.dfa,
+            syms,
+            enum_bounds,
+            functions,
+            int(first_final),
+            policy=self.policy,
+            config=self.config,
+        )
+        result = self._finalize(
+            syms,
+            final,
+            traces,
+            serial_tail=stats.extra_cycles,
+            policy=self.policy,
+            diverged_segments=stats.diverged_segments,
+            reeval_passes=stats.reeval_passes,
+            pruned_sets=pruned_sets,
+            lookback=self.lookback,
+            num_convergence_sets=self.num_convergence_sets,
+        )
+        result.reexec_segments = len(stats.reexecuted_segments)
+        self._last_functions = functions
+        self._last_bounds = bounds
+        return result

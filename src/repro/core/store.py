@@ -1,0 +1,120 @@
+"""Persistence of profiling results and convergence partitions.
+
+The paper's workflow profiles *offline* ("less than 5 minutes ... on one
+PC") and ships the predicted convergence sets to the hardware.  This
+module is that hand-off: partitions, censuses and merge results serialize
+to plain JSON so a deployment can profile once and load forever.
+
+Format notes: JSON keys are strings, so censuses are stored as a list of
+``{"blocks": [[...]], "count": n}`` records; a version field guards
+against silent format drift.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterT, Dict, Union
+
+from repro.core.partition import StatePartition
+from repro.core.profiling import MergeResult
+
+__all__ = [
+    "partition_to_dict",
+    "partition_from_dict",
+    "save_partition",
+    "load_partition",
+    "census_to_dict",
+    "census_from_dict",
+    "save_census",
+    "load_census",
+    "save_merge_result",
+    "load_merge_result",
+]
+
+FORMAT_VERSION = 1
+
+
+def partition_to_dict(partition: StatePartition) -> Dict:
+    """JSON-ready representation of a partition."""
+    return {
+        "version": FORMAT_VERSION,
+        "num_states": partition.num_states,
+        "blocks": [sorted(block) for block in partition.blocks],
+    }
+
+
+def partition_from_dict(data: Dict) -> StatePartition:
+    """Inverse of :func:`partition_to_dict` (validates coverage)."""
+    _check_version(data)
+    return StatePartition(data["blocks"], data["num_states"])
+
+
+def save_partition(partition: StatePartition, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(partition_to_dict(partition)))
+
+
+def load_partition(path: Union[str, Path]) -> StatePartition:
+    return partition_from_dict(json.loads(Path(path).read_text()))
+
+
+def census_to_dict(census: CounterT[StatePartition]) -> Dict:
+    """JSON-ready representation of a profiling census."""
+    if not census:
+        raise ValueError("refusing to store an empty census")
+    num_states = next(iter(census)).num_states
+    return {
+        "version": FORMAT_VERSION,
+        "num_states": num_states,
+        "entries": [
+            {"blocks": [sorted(b) for b in partition.blocks], "count": count}
+            for partition, count in census.most_common()
+        ],
+    }
+
+
+def census_from_dict(data: Dict) -> CounterT[StatePartition]:
+    _check_version(data)
+    census: CounterT[StatePartition] = Counter()
+    for entry in data["entries"]:
+        partition = StatePartition(entry["blocks"], data["num_states"])
+        census[partition] += int(entry["count"])
+    return census
+
+
+def save_census(census: CounterT[StatePartition], path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(census_to_dict(census)))
+
+
+def load_census(path: Union[str, Path]) -> CounterT[StatePartition]:
+    return census_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_merge_result(result: MergeResult, path: Union[str, Path]) -> None:
+    payload = {
+        "version": FORMAT_VERSION,
+        "partition": partition_to_dict(result.partition),
+        "covered": result.covered,
+        "merged_count": result.merged_count,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_merge_result(path: Union[str, Path]) -> MergeResult:
+    data = json.loads(Path(path).read_text())
+    _check_version(data)
+    return MergeResult(
+        partition=partition_from_dict(data["partition"]),
+        covered=float(data["covered"]),
+        merged_count=int(data["merged_count"]),
+    )
+
+
+def _check_version(data: Dict) -> None:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported store format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )

@@ -1,0 +1,34 @@
+"""Parallel FSM engines: the baseline and the paper's comparators.
+
+- :class:`~repro.engines.sequential.SequentialEngine` — Figure 1's loop,
+  1 symbol/cycle ("Baseline" in Table II).
+- :class:`~repro.engines.enumerative.EnumerativeEngine` — basic enumerative
+  FSM / DPFSM with dynamic convergence + deactivation checks.
+- :class:`~repro.engines.lbe.LbeEngine` — Lookback Enumeration: a set-FSM
+  lookback over the previous segment's suffix shrinks the start set before
+  per-state enumeration ("LBE").
+- :class:`~repro.engines.pap.PapEngine` — Parallel Automata Processor with
+  its four static optimizations and dynamic checks ("PAP").
+
+The paper's own design, CSE, lives in :mod:`repro.core.engine` and shares
+the same :class:`~repro.engines.base.Engine` interface.
+"""
+
+from repro.engines.base import Engine, RunResult, SegmentTrace, even_boundaries
+from repro.engines.sequential import SequentialEngine
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+from repro.engines.prefix import PrefixEngine
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "SegmentTrace",
+    "even_boundaries",
+    "SequentialEngine",
+    "EnumerativeEngine",
+    "LbeEngine",
+    "PapEngine",
+    "PrefixEngine",
+]

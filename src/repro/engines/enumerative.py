@@ -1,0 +1,132 @@
+"""Basic enumerative FSM (the DPFSM approach, Section II-B).
+
+The input is cut into equal segments.  Segment 0 runs from the concrete
+start state; every other segment enumerates *all* N states, with the
+dynamic convergence check merging flows whose current states coincide and
+the deactivation check dropping flows absorbed in the dead sink.  After all
+segments finish, the concrete state is chained through the per-segment
+``state -> state`` mappings.
+
+The flow bookkeeping uses a representative trick: ``reps`` holds the
+distinct live states and ``index[s]`` says which representative carries the
+enumeration path that started at ``s``.  Merging is then a ``np.unique``
+per symbol, exactly mirroring the hardware's pairwise convergence checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata import analysis
+from repro.automata.dfa import Dfa
+from repro.engines.base import Engine, RunResult, SegmentTrace, even_boundaries
+from repro.hardware.cost import segment_cycles
+
+__all__ = ["EnumerativeEngine", "absorbing_dead_states", "enumerate_all_states"]
+
+
+def absorbing_dead_states(dfa: Dfa) -> frozenset:
+    """States that are dead *and* absorbing — safe to deactivate.
+
+    A flow parked on such a state needs no further computation: its mapping
+    is the identity and it can produce no reports.  (In a minimized scan
+    DFA all dead states collapse into one absorbing sink, so this set is
+    the paper's "dead state" deactivation target.)
+    """
+    dead = analysis.dead_states(dfa)
+    absorbing = np.zeros(dfa.num_states, dtype=bool)
+    loops = analysis.always_active_states(dfa)
+    absorbing[loops] = True
+    return frozenset(int(q) for q in np.flatnonzero(dead & absorbing))
+
+
+def enumerate_all_states(
+    dfa: Dfa,
+    segment: np.ndarray,
+    initial_states: Optional[np.ndarray] = None,
+    inactive: frozenset = frozenset(),
+) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+    """Enumerate ``state -> state`` paths for a set of start states.
+
+    Returns ``(starts, finals, r_trace)`` where ``finals[i]`` is the end
+    state of the path starting at ``starts[i]`` and ``r_trace`` has one
+    entry per symbol *plus a trailing entry*: ``r_trace[t]`` is the number
+    of chargeable flows entering symbol ``t`` (merged flows counted once,
+    flows parked on ``inactive`` states counted zero) and ``r_trace[-1]``
+    is the count after the last symbol (the segment's RT).
+    """
+    if initial_states is None:
+        starts = np.arange(dfa.num_states, dtype=np.int32)
+    else:
+        starts = np.unique(np.asarray(initial_states, dtype=np.int32))
+    reps = starts.copy()
+    index = np.arange(reps.size, dtype=np.int64)
+    inactive_arr = np.asarray(sorted(inactive), dtype=np.int32)
+
+    def live_count(current: np.ndarray) -> int:
+        if inactive_arr.size == 0:
+            return int(current.size)
+        parked = np.isin(current, inactive_arr)
+        return int(current.size - np.count_nonzero(parked))
+
+    table = dfa.transitions
+    r_trace: List[int] = [live_count(reps)]
+    for sym in segment:
+        reps = table[sym].take(reps)
+        reps, inverse = np.unique(reps, return_inverse=True)
+        index = inverse[index]
+        r_trace.append(live_count(reps))
+    finals = reps[index]
+    return starts, finals, r_trace
+
+
+class EnumerativeEngine(Engine):
+    """Data-Parallel FSM: full enumeration with dynamic checks."""
+
+    display_name = "Enumerative"
+    building_block = "state FSM"
+    static_optimization = "NA"
+    dynamic_optimization = "convergence check and deactivation check"
+
+    def __init__(
+        self,
+        dfa: Dfa,
+        n_segments: int = 16,
+        cores_per_segment: int = 1,
+        config=None,
+        deactivate: bool = True,
+    ):
+        super().__init__(dfa, n_segments, cores_per_segment, config)
+        self._inactive = absorbing_dead_states(dfa) if deactivate else frozenset()
+
+    def run(self, symbols, start_state: Optional[int] = None) -> RunResult:
+        syms, start = self._prepare(symbols, start_state)
+        bounds = even_boundaries(int(syms.size), self.n_segments)
+        traces: List[SegmentTrace] = []
+        mappings: List[Tuple[np.ndarray, np.ndarray]] = []
+        concrete_final = start
+        for i, (a, b) in enumerate(bounds):
+            segment = syms[a:b]
+            if i == 0:
+                concrete_final = self.dfa.run(segment, start)
+                cycles = int(segment.size) * self.config.symbol_cycles
+                traces.append(
+                    SegmentTrace(a, b, [1] * (int(segment.size) + 1), cycles)
+                )
+                continue
+            starts, finals, r_trace = enumerate_all_states(
+                self.dfa, segment, inactive=self._inactive
+            )
+            cycles = segment_cycles(
+                r_trace[:-1], self.cores_per_segment, self.config, checks=True
+            )
+            traces.append(SegmentTrace(a, b, r_trace, cycles))
+            mappings.append((starts, finals))
+
+        state = int(concrete_final)
+        for starts, finals in mappings:
+            pos = int(np.searchsorted(starts, state))
+            state = int(finals[pos])
+        return self._finalize(syms, state, traces)

@@ -1,0 +1,106 @@
+"""Lookback Enumeration (LBE, Section II-C).
+
+Each enumerative segment first *looks back* over the last ``L`` symbols of
+the previous segment.  That pass starts from all N states but is executed
+with the set-FSM primitive — a single flow, ``L`` cycles — and yields the
+set of states the machine can possibly be in at the segment boundary
+(``R0 <= N``).  Enumeration then runs only those ``R0`` paths.
+
+Following the paper's methodology (Section V-C) we implement LBE *without*
+start-state prediction: the true boundary state always lies in the looked-
+back set (it is the image of the previous segment's suffix), so this
+variant never re-executes.  The probabilistic prediction schemes of the
+software literature are excluded for the same reason the paper excludes
+them — they are impractical in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+from repro.engines.base import Engine, RunResult, SegmentTrace, even_boundaries
+from repro.engines.enumerative import absorbing_dead_states, enumerate_all_states
+from repro.hardware.cost import segment_cycles
+
+__all__ = ["LbeEngine"]
+
+
+class LbeEngine(Engine):
+    """Table II "LBE": set-FSM lookback, then per-state enumeration.
+
+    Parameters
+    ----------
+    lookback:
+        Number of suffix symbols of the previous segment to scan (the
+        paper's ``L``; Table I uses 10-50, Figure 15 sweeps 10-100).
+    """
+
+    display_name = "LBE"
+    building_block = "state and set FSM"
+    static_optimization = "NA"
+    dynamic_optimization = "lookback"
+
+    def __init__(
+        self,
+        dfa: Dfa,
+        n_segments: int = 16,
+        cores_per_segment: int = 1,
+        config=None,
+        lookback: int = 20,
+        deactivate: bool = True,
+    ):
+        super().__init__(dfa, n_segments, cores_per_segment, config)
+        if lookback < 0:
+            raise ValueError("lookback must be >= 0")
+        self.lookback = lookback
+        self._inactive = absorbing_dead_states(dfa) if deactivate else frozenset()
+
+    def run(self, symbols, start_state: Optional[int] = None) -> RunResult:
+        syms, start = self._prepare(symbols, start_state)
+        bounds = even_boundaries(int(syms.size), self.n_segments)
+        traces: List[SegmentTrace] = []
+        mappings: List[Tuple[np.ndarray, np.ndarray]] = []
+        concrete_final = start
+        all_states = np.arange(self.dfa.num_states, dtype=np.int32)
+        for i, (a, b) in enumerate(bounds):
+            segment = syms[a:b]
+            if i == 0:
+                concrete_final = self.dfa.run(segment, start)
+                cycles = int(segment.size) * self.config.symbol_cycles
+                traces.append(
+                    SegmentTrace(a, b, [1] * (int(segment.size) + 1), cycles)
+                )
+                continue
+            # Lookback: one set-flow over the previous segment's suffix.
+            prev_start = bounds[i - 1][0]
+            lb_from = max(prev_start, a - self.lookback)
+            suffix = syms[lb_from:a]
+            possible = self.dfa.set_run(all_states, suffix)
+            lookback_cycles = int(suffix.size) * self.config.symbol_cycles
+            # Enumerate only the looked-back start set.
+            starts, finals, r_trace = enumerate_all_states(
+                self.dfa, segment, initial_states=possible, inactive=self._inactive
+            )
+            cycles = segment_cycles(
+                r_trace[:-1],
+                self.cores_per_segment,
+                self.config,
+                checks=True,
+                prologue_cycles=lookback_cycles,
+            )
+            traces.append(SegmentTrace(a, b, r_trace, cycles))
+            mappings.append((starts, finals))
+
+        state = int(concrete_final)
+        for starts, finals in mappings:
+            pos = int(np.searchsorted(starts, state))
+            if pos >= starts.size or starts[pos] != state:
+                raise AssertionError(
+                    "LBE invariant violated: boundary state missing from the "
+                    "looked-back start set"
+                )
+            state = int(finals[pos])
+        return self._finalize(syms, state, traces)

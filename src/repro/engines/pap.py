@@ -1,0 +1,245 @@
+"""Parallel Automata Processor (PAP, Section II-D).
+
+PAP enumerates with per-state flows but shrinks ``R0`` with four static
+optimizations before execution starts:
+
+1. **Range-guided input partition** — segment boundaries are moved (within
+   a window) to positions where the preceding symbol has a small *feasible
+   range*: after reading symbol ``c`` the machine must be in
+   ``image(c) = {delta(q, c) : q}``, so that image is the start set.
+   Segments come out uneven — the paper (Section VI-B) blames PAP's small
+   residual slowdown vs CSE on exactly this.
+2. **Common parent** — if the feasible range one symbol earlier is smaller,
+   move the boundary one symbol earlier and enumerate the parents instead.
+3. **Active state group** — absorbing states (self-loop on every symbol)
+   have identity mappings and are never enumerated.
+4. **Connected component analysis** — the start set is split by undirected
+   connected components of the transition graph; one state per component is
+   packed into a single flow (states cannot collide across disjoint,
+   transition-closed components).  The price, which Section VI-C measures:
+   packed flows only merge when *every* packed pair converges, so dynamic
+   convergence weakens as components multiply.
+
+Dynamic optimizations (convergence + deactivation checks) run during
+enumeration, as in the basic enumerative engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata import analysis
+from repro.automata.dfa import Dfa
+from repro.engines.base import Engine, RunResult, SegmentTrace, even_boundaries
+from repro.engines.enumerative import absorbing_dead_states
+from repro.hardware.cost import segment_cycles
+
+__all__ = ["PapEngine"]
+
+
+class PapEngine(Engine):
+    """Table II "PAP": four static optimizations + dynamic checks."""
+
+    display_name = "PAP"
+    building_block = "state FSM"
+    static_optimization = "four optimizations in Section II-D"
+    dynamic_optimization = "convergence check and deactivation check"
+
+    def __init__(
+        self,
+        dfa: Dfa,
+        n_segments: int = 16,
+        cores_per_segment: int = 1,
+        config=None,
+        boundary_window_frac: float = 0.1,
+        use_range_partition: bool = True,
+        use_common_parent: bool = True,
+        use_active_group: bool = True,
+        use_connected_components: bool = True,
+    ):
+        super().__init__(dfa, n_segments, cores_per_segment, config)
+        self.boundary_window_frac = float(boundary_window_frac)
+        self.use_range_partition = use_range_partition
+        self.use_common_parent = use_common_parent
+        self.use_active_group = use_active_group
+        self.use_connected_components = use_connected_components
+        inactive = absorbing_dead_states(dfa)
+        self._inactive_mask = np.zeros(dfa.num_states, dtype=bool)
+        if inactive:
+            self._inactive_mask[sorted(inactive)] = True
+        self._absorbing = frozenset(
+            int(q) for q in analysis.always_active_states(dfa)
+        )
+        self._image_sizes = analysis.symbol_image_sizes(dfa)
+        self._images: Dict[int, np.ndarray] = {}
+        # Component id per state (computed once; undirected components of
+        # the full transition graph are closed under transitions).
+        self._component_of = self._label_components()
+
+    # ------------------------------------------------------------------
+    # static structure
+    # ------------------------------------------------------------------
+    def _label_components(self) -> np.ndarray:
+        labels = np.full(self.dfa.num_states, -1, dtype=np.int64)
+        for idx, members in enumerate(analysis.connected_components(self.dfa)):
+            labels[members] = idx
+        return labels
+
+    def _image(self, symbol: int) -> np.ndarray:
+        symbol = int(symbol)
+        if symbol not in self._images:
+            self._images[symbol] = analysis.symbol_image(self.dfa, symbol)
+        return self._images[symbol]
+
+    def _choose_boundaries(self, syms: np.ndarray) -> List[Tuple[int, int]]:
+        """Static boundary placement: range-guided cuts + common parent.
+
+        A cut at position ``p`` means the next segment starts with symbol
+        ``p`` and its feasible start set is ``image(syms[p-1])``.
+        """
+        bounds = even_boundaries(int(syms.size), self.n_segments)
+        if len(bounds) < 2 or syms.size < 2:
+            return bounds
+        cuts = [b for (_, b) in bounds[:-1]]
+        if self.use_range_partition:
+            seg_len = max(1, syms.size // self.n_segments)
+            window = max(1, int(seg_len * self.boundary_window_frac))
+            adjusted: List[int] = []
+            lo_limit = 1
+            for cut in cuts:
+                lo = max(lo_limit, cut - window)
+                hi = min(int(syms.size) - 1, cut + window)
+                if lo > hi:
+                    best = min(max(cut, lo_limit), int(syms.size) - 1)
+                else:
+                    candidates = np.arange(lo, hi + 1)
+                    sizes = self._image_sizes[syms[candidates - 1]]
+                    best = int(candidates[int(np.argmin(sizes))])
+                adjusted.append(best)
+                lo_limit = best + 1
+            cuts = adjusted
+        if self.use_common_parent:
+            # Moving a cut one symbol earlier trades one extra enumerated
+            # symbol for a smaller start set (Figure 4 (d)).
+            shifted: List[int] = []
+            prev_edge = 0
+            for cut in cuts:
+                if (
+                    cut >= 2
+                    and cut - 1 > prev_edge
+                    and self._image_sizes[syms[cut - 2]]
+                    < self._image_sizes[syms[cut - 1]]
+                ):
+                    cut = cut - 1
+                shifted.append(cut)
+                prev_edge = cut
+            cuts = shifted
+        edges = [0] + cuts + [int(syms.size)]
+        return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+    # ------------------------------------------------------------------
+    # per-segment enumeration
+    # ------------------------------------------------------------------
+    def _pack_flows(
+        self, states: np.ndarray
+    ) -> Tuple[np.ndarray, Dict[int, Tuple[int, int]]]:
+        """Connected-component packing into a flow matrix.
+
+        Returns ``(matrix, slot_of)`` where ``matrix[j, k]`` is the current
+        state of flow ``j`` in component-column ``k`` (-1 = empty) and
+        ``slot_of[state] = (j, k)`` locates each start state.
+        """
+        if self.use_connected_components:
+            groups: Dict[int, List[int]] = {}
+            for q in states:
+                groups.setdefault(int(self._component_of[q]), []).append(int(q))
+            columns = sorted(groups.values(), key=len, reverse=True)
+        else:
+            columns = [[int(q) for q in states]]
+        n_flows = max(len(col) for col in columns)
+        matrix = np.full((n_flows, len(columns)), -1, dtype=np.int32)
+        slot_of: Dict[int, Tuple[int, int]] = {}
+        for k, col in enumerate(columns):
+            for j, q in enumerate(col):
+                matrix[j, k] = q
+                slot_of[q] = (j, k)
+        return matrix, slot_of
+
+    def _live_flow_count(self, matrix: np.ndarray) -> int:
+        """Distinct flow rows, excluding rows fully parked on dead sinks.
+
+        Two packed flows merge only when their entire rows coincide — the
+        weakness of component packing the paper highlights.
+        """
+        rows = np.unique(matrix, axis=0)
+        safe = np.where(rows >= 0, rows, 0)
+        parked = self._inactive_mask[safe] | (rows < 0)
+        return int(np.count_nonzero(~parked.all(axis=1)))
+
+    def _enumerate_segment(
+        self, segment: np.ndarray, states: np.ndarray
+    ) -> Tuple[Dict[int, int], List[int]]:
+        """Run packed-flow enumeration; returns (mapping, r_trace)."""
+        if self.use_active_group:
+            moving = [int(q) for q in states if int(q) not in self._absorbing]
+            parked = [int(q) for q in states if int(q) in self._absorbing]
+        else:
+            moving = [int(q) for q in states]
+            parked = []
+        mapping = {q: q for q in parked}  # absorbing: identity, zero flows
+        if not moving:
+            return mapping, [0] * (int(segment.size) + 1)
+        matrix, slot_of = self._pack_flows(np.asarray(moving, dtype=np.int32))
+        table = self.dfa.transitions
+        r_trace = [self._live_flow_count(matrix)]
+        filled = matrix >= 0
+        for sym in segment:
+            matrix[filled] = table[sym].take(matrix[filled])
+            r_trace.append(self._live_flow_count(matrix))
+        for q, (j, k) in slot_of.items():
+            mapping[q] = int(matrix[j, k])
+        return mapping, r_trace
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self, symbols, start_state: Optional[int] = None) -> RunResult:
+        syms, start = self._prepare(symbols, start_state)
+        bounds = self._choose_boundaries(syms)
+        traces: List[SegmentTrace] = []
+        mappings: List[Dict[int, int]] = []
+        concrete_final = start
+        for i, (a, b) in enumerate(bounds):
+            segment = syms[a:b]
+            if i == 0:
+                concrete_final = self.dfa.run(segment, start)
+                cycles = int(segment.size) * self.config.symbol_cycles
+                traces.append(
+                    SegmentTrace(a, b, [1] * (int(segment.size) + 1), cycles)
+                )
+                continue
+            if a >= b:
+                traces.append(SegmentTrace(a, b, [0], 0))
+                mappings.append({})
+                continue
+            feasible = self._image(syms[a - 1])
+            mapping, r_trace = self._enumerate_segment(segment, feasible)
+            cycles = segment_cycles(
+                r_trace[:-1], self.cores_per_segment, self.config, checks=True
+            )
+            traces.append(SegmentTrace(a, b, r_trace, cycles))
+            mappings.append(mapping)
+
+        state = int(concrete_final)
+        for mapping in mappings:
+            if not mapping:
+                continue
+            if state not in mapping:
+                raise AssertionError(
+                    "PAP invariant violated: boundary state outside the "
+                    "feasible start set"
+                )
+            state = mapping[state]
+        return self._finalize(syms, state, traces)

@@ -1,0 +1,120 @@
+"""Parallel-prefix FSM execution (the classical software approach).
+
+Section VII's related work traces enumerative FSM back to parallel prefix
+computation (Ladner & Fischer; Hillis & Steele; Mytkowicz et al.'s DPFSM):
+a segment's effect is the full ``state -> state`` mapping — a function on
+Q — and function composition is associative, so m segment mappings reduce
+in O(log m) *rounds* of pairwise composition instead of a linear chain.
+
+On the AP this buys little (the paper's engines chain in negligible time
+because each segment's mapping collapses during enumeration), but as a
+software baseline it is the canonical comparator, and it showcases what
+CSE discards: the prefix approach must *materialize* every mapping
+(N values per segment), which is exactly the ``state -> state`` overhead
+CSE's set-formulation avoids.
+
+Cost model: each enumerative segment computes its mapping with per-state
+flows (same dynamic merging as the enumerative engine); the composition
+tree then costs ``ceil(log2(m))`` rounds of N-lookup composition on the
+critical path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+from repro.engines.base import Engine, RunResult, SegmentTrace, even_boundaries
+from repro.engines.enumerative import absorbing_dead_states, enumerate_all_states
+from repro.hardware.cost import segment_cycles
+
+__all__ = ["PrefixEngine", "compose_mappings"]
+
+
+def compose_mappings(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Composition ``second after first`` of full state mappings.
+
+    ``result[q] = second[first[q]]`` — the machine runs the first
+    segment, then the second.
+    """
+    return second[first]
+
+
+class PrefixEngine(Engine):
+    """Enumerative FSM with log-depth mapping composition.
+
+    Functionally identical to :class:`EnumerativeEngine`; differs only in
+    how per-segment results are combined (tree instead of chain) and in
+    charging that combination on the critical path.  Exists as the
+    related-work software baseline and for ablating composition cost.
+    """
+
+    display_name = "Prefix"
+    building_block = "state FSM"
+    static_optimization = "parallel prefix composition"
+    dynamic_optimization = "convergence check and deactivation check"
+
+    def __init__(
+        self,
+        dfa: Dfa,
+        n_segments: int = 16,
+        cores_per_segment: int = 1,
+        config=None,
+        deactivate: bool = True,
+    ):
+        super().__init__(dfa, n_segments, cores_per_segment, config)
+        self._inactive = absorbing_dead_states(dfa) if deactivate else frozenset()
+
+    def run(self, symbols, start_state: Optional[int] = None) -> RunResult:
+        syms, start = self._prepare(symbols, start_state)
+        bounds = even_boundaries(int(syms.size), self.n_segments)
+        traces: List[SegmentTrace] = []
+        mappings: List[np.ndarray] = []
+        n = self.dfa.num_states
+        for i, (a, b) in enumerate(bounds):
+            segment = syms[a:b]
+            starts, finals, r_trace = enumerate_all_states(
+                self.dfa, segment, inactive=self._inactive
+            )
+            # full mapping vector over all states
+            mapping = np.empty(n, dtype=np.int32)
+            mapping[starts] = finals
+            mappings.append(mapping)
+            cycles = segment_cycles(
+                r_trace[:-1], self.cores_per_segment, self.config, checks=True
+            )
+            traces.append(SegmentTrace(a, b, r_trace, cycles))
+
+        # log-depth composition tree; each round composes pairs in parallel
+        rounds = 0
+        level = mappings
+        while len(level) > 1:
+            rounds += 1
+            nxt: List[np.ndarray] = []
+            for j in range(0, len(level) - 1, 2):
+                nxt.append(compose_mappings(level[j], level[j + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        total_mapping = level[0]
+        final = int(total_mapping[start])
+
+        # composition cost: one N-lookup pass per round on the critical path
+        composition_cycles = rounds * n * self.config.symbol_cycles
+        result = self._finalize(
+            syms,
+            final,
+            traces,
+            serial_tail=composition_cycles,
+            composition_rounds=rounds,
+            composition_cycles=composition_cycles,
+        )
+        return result
+
+    @staticmethod
+    def expected_rounds(n_segments: int) -> int:
+        """Composition-tree depth for a given segment count."""
+        return max(0, math.ceil(math.log2(max(1, n_segments))))

@@ -1,0 +1,35 @@
+"""The sequential baseline: Figure 1 of the paper.
+
+One flow, one symbol per cycle, no enumeration.  Every other engine must
+reproduce this engine's final state (and reports) exactly; the experiment
+harness also uses its cycle count as the speedup denominator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engines.base import Engine, RunResult, SegmentTrace
+
+__all__ = ["SequentialEngine"]
+
+
+class SequentialEngine(Engine):
+    """Table II "Baseline": plain table-driven execution."""
+
+    display_name = "Baseline"
+    building_block = "state FSM"
+    static_optimization = "NA"
+    dynamic_optimization = "NA"
+
+    def __init__(self, dfa, config=None):
+        super().__init__(dfa, n_segments=1, cores_per_segment=1, config=config)
+
+    def run(self, symbols, start_state: Optional[int] = None) -> RunResult:
+        syms, start = self._prepare(symbols, start_state)
+        final = self.dfa.run(syms, start)
+        cycles = int(syms.size) * self.config.symbol_cycles
+        trace = SegmentTrace(0, int(syms.size), [1] * (int(syms.size) + 1), cycles)
+        result = self._finalize(syms, final, [trace])
+        result.reports = self.dfa.run_reports(syms, start)
+        return result

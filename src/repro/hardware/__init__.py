@@ -1,0 +1,26 @@
+"""Automata Processor (AP) hardware cost model.
+
+The paper evaluates all designs analytically on Micron's AP: one rank of 16
+half-cores, 7.5 ns cycles, one symbol per cycle per flow, 3-cycle context
+switches between time-multiplexed flows, and 1-cycle pairwise convergence
+checks.  :class:`APConfig` captures those constants; :mod:`cost` integrates
+per-symbol flow counts (``R`` traces) into cycle totals.
+"""
+
+from repro.hardware.ap import APConfig
+from repro.hardware.cost import (
+    flow_step_cycles,
+    segment_cycles,
+    chunk_overhead_cycles,
+    parallel_cycles,
+    throughput_symbols_per_sec,
+)
+
+__all__ = [
+    "APConfig",
+    "flow_step_cycles",
+    "segment_cycles",
+    "chunk_overhead_cycles",
+    "parallel_cycles",
+    "throughput_symbols_per_sec",
+]

@@ -1,0 +1,90 @@
+"""Cycle accounting for enumerative FSM engines.
+
+Engines record an ``R`` trace — the number of live flows before each input
+symbol of a segment.  These functions integrate such traces into cycle
+counts under an :class:`~repro.hardware.ap.APConfig`:
+
+- every live flow spends ``symbol_cycles`` per symbol (flows are
+  time-multiplexed on the segment's half-cores, so per-symbol cost is the
+  per-core flow load);
+- once per ``check_interval`` symbols the half-core cycles through its
+  flows: a context switch per extra flow plus a pairwise convergence check.
+
+The total for a parallel run is the maximum over segments (they execute
+concurrently) plus any serial tail (re-execution, composition).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.hardware.ap import APConfig
+
+__all__ = [
+    "flow_step_cycles",
+    "chunk_overhead_cycles",
+    "segment_cycles",
+    "parallel_cycles",
+    "throughput_symbols_per_sec",
+]
+
+
+def flow_step_cycles(flows: int, cores: int, config: APConfig) -> int:
+    """Cycles to advance all flows of a segment by one symbol.
+
+    Flows are spread across ``cores`` half-cores; each core serially feeds
+    the symbol to its share of flows.
+    """
+    if flows <= 0:
+        return 0
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    per_core = math.ceil(flows / cores)
+    return per_core * config.symbol_cycles
+
+
+def chunk_overhead_cycles(flows: int, cores: int, config: APConfig, checks: bool) -> int:
+    """Per-chunk cost: context switches between flows plus optional checks."""
+    if flows <= 1:
+        return 0
+    per_core = math.ceil(flows / cores)
+    cycles = config.context_switch_cycles * max(0, per_core - 1)
+    if checks:
+        cycles += config.convergence_check_cycles_per_pair * (flows // 2)
+    return cycles
+
+
+def segment_cycles(
+    r_trace: Sequence[int],
+    cores: int,
+    config: APConfig,
+    checks: bool = True,
+    prologue_cycles: int = 0,
+) -> int:
+    """Integrate a per-symbol flow-count trace into total segment cycles.
+
+    ``prologue_cycles`` charges fixed work done before enumeration starts
+    (e.g. LBE's lookback pass).
+    """
+    total = int(prologue_cycles)
+    for t, flows in enumerate(r_trace):
+        total += flow_step_cycles(int(flows), cores, config)
+        if t % config.check_interval == 0:
+            total += chunk_overhead_cycles(int(flows), cores, config, checks)
+    return total
+
+
+def parallel_cycles(per_segment_cycles: Iterable[int], serial_tail: int = 0) -> int:
+    """Critical-path cycles: parallel max over segments plus a serial tail."""
+    segments: List[int] = [int(c) for c in per_segment_cycles]
+    if not segments:
+        return int(serial_tail)
+    return max(segments) + int(serial_tail)
+
+
+def throughput_symbols_per_sec(n_symbols: int, cycles: int, config: APConfig) -> float:
+    """Sustained symbols/second at the configured cycle time."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return n_symbols / (cycles * config.cycle_ns * 1e-9)

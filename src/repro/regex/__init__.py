@@ -1,0 +1,26 @@
+"""A from-scratch regular-expression compiler (the paper's RE2 substitute).
+
+Pipeline: pattern string -> AST (:mod:`parser`) -> Thompson NFA
+(:mod:`compile`) -> DFA (subset construction) -> minimal DFA (Hopcroft).
+
+Supported syntax: literals, escapes (``\\n \\t \\r \\xHH \\d \\D \\w \\W
+\\s \\S``), character classes ``[a-z]`` / ``[^...]``, ``.``, grouping,
+alternation ``|``, quantifiers ``* + ? {m} {m,} {m,n}``, anchors ``^ $``
+(compile-level).  This covers every construct used by the 13 benchmark
+ruleset generators.
+"""
+
+from repro.regex.parser import parse, RegexSyntaxError
+from repro.regex.compile import (
+    compile_pattern,
+    compile_ruleset,
+    pattern_to_nfa,
+)
+
+__all__ = [
+    "parse",
+    "RegexSyntaxError",
+    "compile_pattern",
+    "compile_ruleset",
+    "pattern_to_nfa",
+]

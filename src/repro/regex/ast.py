@@ -1,0 +1,77 @@
+"""Regex abstract syntax tree.
+
+Nodes are small frozen dataclasses; the parser builds them, the compiler
+walks them.  Character classes are represented as frozensets of byte values
+(0..255) so class algebra is plain set algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Node", "Empty", "CharClass", "Concat", "Alternate", "Repeat"]
+
+
+class Node:
+    """Base class for regex AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """Matches the empty string."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CharClass(Node):
+    """Matches exactly one symbol from ``symbols`` (byte values)."""
+
+    symbols: frozenset
+
+    def __post_init__(self):
+        if not self.symbols:
+            raise ValueError("empty character class matches nothing")
+
+    def __repr__(self) -> str:
+        if len(self.symbols) <= 4:
+            inner = ",".join(str(s) for s in sorted(self.symbols))
+        else:
+            inner = f"{len(self.symbols)} syms"
+        return f"CharClass({inner})"
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """Matches ``parts`` in sequence."""
+
+    parts: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Alternate(Node):
+    """Matches any one of ``options``."""
+
+    options: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """Matches ``node`` repeated between ``low`` and ``high`` times.
+
+    ``high is None`` means unbounded (``*`` is ``Repeat(n, 0, None)``,
+    ``+`` is ``Repeat(n, 1, None)``, ``?`` is ``Repeat(n, 0, 1)``).
+    """
+
+    node: Node
+    low: int
+    high: Optional[int]
+
+    def __post_init__(self):
+        if self.low < 0:
+            raise ValueError("repeat lower bound must be >= 0")
+        if self.high is not None and self.high < self.low:
+            raise ValueError("repeat upper bound below lower bound")

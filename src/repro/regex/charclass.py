@@ -1,0 +1,56 @@
+"""Character-class algebra over the byte alphabet.
+
+Classes are frozensets of byte values (0..255).  The named classes mirror
+Python's ``re`` semantics restricted to ASCII, which is what the benchmark
+rulesets (Snort, ClamAV, Becchi traces) assume.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import FrozenSet
+
+__all__ = [
+    "ALL_BYTES",
+    "DIGITS",
+    "WORD",
+    "SPACE",
+    "PRINTABLE",
+    "DOT",
+    "negate",
+    "byte_range",
+    "from_chars",
+]
+
+ALL_BYTES: FrozenSet[int] = frozenset(range(256))
+
+DIGITS: FrozenSet[int] = frozenset(ord(c) for c in string.digits)
+
+WORD: FrozenSet[int] = frozenset(
+    ord(c) for c in string.ascii_letters + string.digits + "_"
+)
+
+SPACE: FrozenSet[int] = frozenset(ord(c) for c in " \t\n\r\f\v")
+
+#: Visible ASCII plus space — the "symbol range" many benchmarks restrict to.
+PRINTABLE: FrozenSet[int] = frozenset(range(0x20, 0x7F))
+
+#: ``.`` matches everything except newline (re.DOTALL off).
+DOT: FrozenSet[int] = ALL_BYTES - frozenset([ord("\n")])
+
+
+def negate(symbols: FrozenSet[int]) -> FrozenSet[int]:
+    """Complement within the byte alphabet."""
+    return ALL_BYTES - symbols
+
+
+def byte_range(low: int, high: int) -> FrozenSet[int]:
+    """Inclusive byte range ``low-high`` (as in ``[a-z]``)."""
+    if not (0 <= low <= high <= 255):
+        raise ValueError(f"invalid byte range {low}-{high}")
+    return frozenset(range(low, high + 1))
+
+
+def from_chars(chars: str) -> FrozenSet[int]:
+    """Class containing exactly the characters of ``chars``."""
+    return frozenset(ord(c) for c in chars)

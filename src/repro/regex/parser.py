@@ -1,0 +1,284 @@
+"""Recursive-descent regex parser.
+
+Grammar (standard POSIX-ish subset, Python-compatible on the constructs it
+accepts)::
+
+    pattern    := alternation
+    alternation:= concat ('|' concat)*
+    concat     := repeat*
+    repeat     := atom ('*' | '+' | '?' | '{' bounds '}')*
+    atom       := '(' alternation ')' | '[' class ']' | '.' | escape | char
+
+Anchors ``^`` (only at the very start) and ``$`` (only at the very end) are
+recorded on the returned :class:`ParsedPattern`; the compiler uses them to
+decide between search and anchored match semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.regex import charclass as cc
+from repro.regex.ast import Alternate, CharClass, Concat, Empty, Node, Repeat
+
+__all__ = ["parse", "ParsedPattern", "RegexSyntaxError"]
+
+_SPECIAL = set("\\^$.[]()*+?{}|")
+
+_ESCAPE_CLASSES = {
+    "d": cc.DIGITS,
+    "D": cc.negate(cc.DIGITS),
+    "w": cc.WORD,
+    "W": cc.negate(cc.WORD),
+    "s": cc.SPACE,
+    "S": cc.negate(cc.SPACE),
+}
+
+_ESCAPE_CHARS = {
+    "n": ord("\n"),
+    "t": ord("\t"),
+    "r": ord("\r"),
+    "f": ord("\f"),
+    "v": ord("\v"),
+    "a": 0x07,
+    "0": 0x00,
+}
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a pattern cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ParsedPattern:
+    """Parse result: the AST plus anchoring flags."""
+
+    node: Node
+    anchored_start: bool
+    anchored_end: bool
+    source: str
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- low-level cursor ------------------------------------------------
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def advance(self) -> str:
+        ch = self.pattern[self.pos]
+        self.pos += 1
+        return ch
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise RegexSyntaxError(
+                f"expected {ch!r} at position {self.pos} in {self.pattern!r}"
+            )
+        self.advance()
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(f"{message} at position {self.pos} in {self.pattern!r}")
+
+    # -- grammar ---------------------------------------------------------
+    def parse_alternation(self) -> Node:
+        options = [self.parse_concat()]
+        while self.peek() == "|":
+            self.advance()
+            options.append(self.parse_concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternate(tuple(options))
+
+    def parse_concat(self) -> Node:
+        parts = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self.parse_repeat())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def parse_repeat(self) -> Node:
+        node = self.parse_atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.advance()
+                node = Repeat(node, 0, None)
+            elif ch == "+":
+                self.advance()
+                node = Repeat(node, 1, None)
+            elif ch == "?":
+                self.advance()
+                node = Repeat(node, 0, 1)
+            elif ch == "{":
+                node = self.parse_bounds(node)
+            else:
+                return node
+
+    def parse_bounds(self, node: Node) -> Node:
+        self.expect("{")
+        low = self.parse_int()
+        high: Optional[int]
+        if self.peek() == ",":
+            self.advance()
+            if self.peek() == "}":
+                high = None
+            else:
+                high = self.parse_int()
+        else:
+            high = low
+        self.expect("}")
+        if high is not None and high < low:
+            raise self.error(f"bad repeat bounds {{{low},{high}}}")
+        return Repeat(node, low, high)
+
+    def parse_int(self) -> int:
+        digits = ""
+        while (ch := self.peek()) is not None and ch.isdigit():
+            digits += self.advance()
+        if not digits:
+            raise self.error("expected a number")
+        return int(digits)
+
+    def parse_atom(self) -> Node:
+        ch = self.peek()
+        if ch is None:
+            raise self.error("unexpected end of pattern")
+        if ch == "(":
+            self.advance()
+            # tolerate non-capturing group syntax
+            if self.pattern.startswith("?:", self.pos):
+                self.pos += 2
+            node = self.parse_alternation()
+            self.expect(")")
+            return node
+        if ch == "[":
+            return CharClass(self.parse_class())
+        if ch == ".":
+            self.advance()
+            return CharClass(cc.DOT)
+        if ch == "\\":
+            return self.parse_escape()
+        if ch in "*+?{":
+            raise self.error(f"nothing to repeat with {ch!r}")
+        if ch in ")]^$":
+            raise self.error(f"unexpected {ch!r}")
+        self.advance()
+        return CharClass(frozenset([ord(ch)]))
+
+    def parse_escape(self) -> Node:
+        self.expect("\\")
+        ch = self.peek()
+        if ch is None:
+            raise self.error("dangling backslash")
+        self.advance()
+        if ch in _ESCAPE_CLASSES:
+            return CharClass(_ESCAPE_CLASSES[ch])
+        if ch in _ESCAPE_CHARS:
+            return CharClass(frozenset([_ESCAPE_CHARS[ch]]))
+        if ch == "x":
+            return CharClass(frozenset([self.parse_hex_byte()]))
+        # escaped metacharacter or plain char: literal
+        return CharClass(frozenset([ord(ch)]))
+
+    def parse_hex_byte(self) -> int:
+        if self.pos + 2 > len(self.pattern):
+            raise self.error("truncated \\x escape")
+        hex_str = self.pattern[self.pos : self.pos + 2]
+        try:
+            value = int(hex_str, 16)
+        except ValueError:
+            raise self.error(f"bad \\x escape {hex_str!r}") from None
+        self.pos += 2
+        return value
+
+    def parse_class(self) -> frozenset:
+        """Parse a ``[...]`` character class body (cursor on '[')."""
+        self.expect("[")
+        negated = False
+        if self.peek() == "^":
+            negated = True
+            self.advance()
+        members = set()
+        first = True
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise self.error("unterminated character class")
+            if ch == "]" and not first:
+                self.advance()
+                break
+            first = False
+            low = self.parse_class_item(members)
+            if low is not None and self.peek() == "-":
+                # possible range; ']' after '-' means literal '-'
+                save = self.pos
+                self.advance()
+                if self.peek() == "]":
+                    self.pos = save
+                    continue
+                high = self.parse_class_item(None)
+                if high is None:
+                    raise self.error("bad range endpoint (class escape)")
+                if high < low:
+                    raise self.error(f"reversed range {low}-{high}")
+                members.update(range(low, high + 1))
+        if not members:
+            raise self.error("empty character class")
+        symbols = frozenset(members)
+        return cc.negate(symbols) if negated else symbols
+
+    def parse_class_item(self, members) -> Optional[int]:
+        """One class member; adds to ``members`` and returns the byte value.
+
+        Returns ``None`` for multi-char escapes like ``\\d`` (which cannot be
+        a range endpoint).
+        """
+        ch = self.advance()
+        if ch == "\\":
+            esc = self.peek()
+            if esc is None:
+                raise self.error("dangling backslash in class")
+            self.advance()
+            if esc in _ESCAPE_CLASSES:
+                if members is None:
+                    raise self.error("class escape cannot bound a range")
+                members.update(_ESCAPE_CLASSES[esc])
+                return None
+            if esc in _ESCAPE_CHARS:
+                value = _ESCAPE_CHARS[esc]
+            elif esc == "x":
+                value = self.parse_hex_byte()
+            else:
+                value = ord(esc)
+        else:
+            value = ord(ch)
+        if members is not None:
+            members.add(value)
+        return value
+
+
+def parse(pattern: str) -> ParsedPattern:
+    """Parse ``pattern`` into an AST plus anchor flags."""
+    anchored_start = pattern.startswith("^")
+    body = pattern[1:] if anchored_start else pattern
+    anchored_end = body.endswith("$") and not body.endswith("\\$")
+    if anchored_end:
+        body = body[:-1]
+    parser = _Parser(body)
+    node = parser.parse_alternation()
+    if parser.pos != len(body):
+        raise parser.error("trailing characters")
+    return ParsedPattern(node, anchored_start, anchored_end, pattern)

@@ -1,0 +1,113 @@
+"""Regex AST pretty-printer: the inverse of the parser.
+
+Emits a pattern string that reparses to an equivalent AST.  Used by the
+differential fuzzer (random AST → pattern → {our compiler, Python `re`} →
+compare) and handy for debugging generated rulesets.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.regex import charclass as cc
+from repro.regex.ast import Alternate, CharClass, Concat, Empty, Node, Repeat
+
+__all__ = ["to_pattern"]
+
+_METACHARS = set("\\^$.[]()*+?{}|")
+
+_NAMED = [
+    (cc.DIGITS, r"\d"),
+    (cc.negate(cc.DIGITS), r"\D"),
+    (cc.WORD, r"\w"),
+    (cc.negate(cc.WORD), r"\W"),
+    (cc.SPACE, r"\s"),
+    (cc.negate(cc.SPACE), r"\S"),
+    (cc.DOT, "."),
+]
+
+
+def _escape_char(value: int, in_class: bool = False) -> str:
+    ch = chr(value)
+    if in_class:
+        if ch in "\\]^-":
+            return "\\" + ch
+    elif ch in _METACHARS:
+        return "\\" + ch
+    if 0x20 <= value < 0x7F:
+        return ch
+    return f"\\x{value:02x}"
+
+
+def _class_body(symbols: FrozenSet[int]) -> str:
+    """Members of a bracket expression, with ranges compressed."""
+    values = sorted(symbols)
+    parts = []
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and values[j + 1] == values[j] + 1:
+            j += 1
+        if j - i >= 2:
+            parts.append(
+                f"{_escape_char(values[i], True)}-{_escape_char(values[j], True)}"
+            )
+        else:
+            parts.extend(_escape_char(v, True) for v in values[i:j + 1])
+        i = j + 1
+    return "".join(parts)
+
+
+def _print_class(symbols: FrozenSet[int]) -> str:
+    for named, text in _NAMED:
+        if symbols == named:
+            return text
+    if len(symbols) == 1:
+        return _escape_char(next(iter(symbols)))
+    complement = cc.negate(symbols)
+    if len(complement) < len(symbols) and complement:
+        return f"[^{_class_body(complement)}]"
+    return f"[{_class_body(symbols)}]"
+
+
+def _needs_group_for_repeat(node: Node) -> bool:
+    return not isinstance(node, (CharClass, Empty))
+
+
+def _needs_group_in_concat(node: Node) -> bool:
+    return isinstance(node, Alternate)
+
+
+def to_pattern(node: Node) -> str:
+    """Emit a pattern string that parses back to an equivalent AST."""
+    if isinstance(node, Empty):
+        return ""
+    if isinstance(node, CharClass):
+        return _print_class(node.symbols)
+    if isinstance(node, Concat):
+        parts = []
+        for part in node.parts:
+            text = to_pattern(part)
+            if _needs_group_in_concat(part):
+                text = f"(?:{text})"
+            parts.append(text)
+        return "".join(parts)
+    if isinstance(node, Alternate):
+        return "|".join(to_pattern(option) for option in node.options)
+    if isinstance(node, Repeat):
+        inner = to_pattern(node.node)
+        if _needs_group_for_repeat(node.node) or inner == "":
+            inner = f"(?:{inner})"
+        low, high = node.low, node.high
+        if (low, high) == (0, None):
+            return inner + "*"
+        if (low, high) == (1, None):
+            return inner + "+"
+        if (low, high) == (0, 1):
+            return inner + "?"
+        if high is None:
+            return f"{inner}{{{low},}}"
+        if low == high:
+            return f"{inner}{{{low}}}"
+        return f"{inner}{{{low},{high}}}"
+    raise TypeError(f"unknown AST node {node!r}")

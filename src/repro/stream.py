@@ -1,0 +1,189 @@
+"""Streaming and fleet scanning: the deployment-facing API.
+
+The engine classes answer "how fast is one design on one string"; a real
+deployment (the NIDS or mail gateway of the paper's introduction) needs
+two more shapes:
+
+- :class:`StreamScanner` — feed byte chunks as they arrive, carry the FSM
+  state across chunks, get report events with global offsets.  Chunks are
+  internally accelerated with a parallel engine when they are long enough
+  to amortize enumeration.
+- :class:`FleetScanner` — scan one input against *many* FSMs (the paper's
+  benchmarks are collections of hundreds), allocating the AP's half-cores
+  across machines and reporting aggregate throughput.
+
+Both preserve exact sequential semantics: every report a sequential scan
+would emit, no more, no fewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa, as_symbols
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.engines.base import Engine
+from repro.engines.sequential import SequentialEngine
+from repro.hardware.ap import APConfig
+from repro.hardware.cost import throughput_symbols_per_sec
+
+__all__ = ["StreamScanner", "FleetScanner", "FleetResult"]
+
+
+class StreamScanner:
+    """Incremental scanning with exact report offsets.
+
+    Parameters
+    ----------
+    dfa:
+        The compiled ruleset.
+    engine:
+        Optional parallel engine used to *model* chunk latency (its cycle
+        count feeds :attr:`cycles`); report extraction always runs the
+        exact sequential pass.  Defaults to a CSE engine when the DFA has
+        a partition-friendly profile, else plain sequential.
+    min_parallel_chunk:
+        Chunks shorter than this are charged at sequential cost — with
+        segments only a few symbols long, enumeration cannot pay off.
+    """
+
+    def __init__(
+        self,
+        dfa: Dfa,
+        engine: Optional[Engine] = None,
+        min_parallel_chunk: int = 512,
+    ):
+        self.dfa = dfa
+        self.engine = engine
+        self.min_parallel_chunk = int(min_parallel_chunk)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all stream state (new connection / new file)."""
+        self.state = self.dfa.start
+        self.offset = 0
+        self.cycles = 0
+        self.reports: List[Tuple[int, int]] = []
+
+    def feed(self, chunk) -> List[Tuple[int, int]]:
+        """Consume one chunk; return the report events it produced.
+
+        Report offsets are global stream offsets.
+        """
+        syms = as_symbols(chunk)
+        if syms.size == 0:
+            return []
+        new_reports = [
+            (self.offset + local, state)
+            for local, state in self.dfa.run_reports(syms, self.state)
+        ]
+        if self.engine is not None and syms.size >= self.min_parallel_chunk:
+            run = self.engine.run(syms, start_state=self.state)
+            self.cycles += run.cycles
+            end_state = run.final_state
+        else:
+            self.cycles += int(syms.size)
+            end_state = self.dfa.run(syms, self.state)
+        self.state = int(end_state)
+        self.offset += int(syms.size)
+        self.reports.extend(new_reports)
+        return new_reports
+
+    def finish(self) -> Tuple[int, List[Tuple[int, int]]]:
+        """Final state and the full report log."""
+        return self.state, list(self.reports)
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of a fleet scan."""
+
+    n_fsms: int
+    n_symbols: int
+    #: per-FSM report events
+    reports: Dict[int, List[Tuple[int, int]]]
+    #: critical-path cycles (FSMs run concurrently on separate half-cores)
+    cycles: int
+    config: APConfig = field(default_factory=APConfig)
+
+    @property
+    def total_reports(self) -> int:
+        return sum(len(r) for r in self.reports.values())
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate symbols/second at the modeled clock."""
+        return throughput_symbols_per_sec(self.n_symbols, self.cycles, self.config)
+
+
+class FleetScanner:
+    """Scan inputs against a collection of FSMs (multi-ruleset deployment).
+
+    Half-cores are split across FSMs the way Table I splits them across
+    segments: with ``F`` machines and ``H`` total half-cores, each machine
+    gets ``H // F`` half-cores (minimum 1) for its segments, and machines
+    beyond the core budget are serialized in rounds.
+    """
+
+    def __init__(
+        self,
+        dfas: Sequence[Dfa],
+        partitions: Optional[Sequence[Optional[StatePartition]]] = None,
+        config: Optional[APConfig] = None,
+        n_segments: int = 8,
+    ):
+        if not dfas:
+            raise ValueError("need at least one FSM")
+        self.config = config or APConfig()
+        self.n_segments = int(n_segments)
+        partitions = partitions or [None] * len(dfas)
+        if len(partitions) != len(dfas):
+            raise ValueError("one partition (or None) per FSM required")
+        per_fsm_cores = max(1, self.config.total_half_cores // len(dfas))
+        cores_per_segment = max(1, per_fsm_cores // self.n_segments)
+        self.engines: List[Engine] = []
+        for dfa, partition in zip(dfas, partitions):
+            if partition is None:
+                partition = StatePartition.trivial(dfa.num_states)
+            self.engines.append(
+                CseEngine(
+                    dfa,
+                    n_segments=self.n_segments,
+                    cores_per_segment=cores_per_segment,
+                    config=self.config,
+                    partition=partition,
+                )
+            )
+        #: how many FSMs can run concurrently on the rank
+        self.concurrency = max(
+            1, self.config.total_half_cores // max(1, per_fsm_cores)
+        )
+
+    def scan(self, symbols) -> FleetResult:
+        """Run every FSM over the input; verify against sequential."""
+        syms = as_symbols(symbols)
+        per_fsm_cycles: List[int] = []
+        reports: Dict[int, List[Tuple[int, int]]] = {}
+        for idx, engine in enumerate(self.engines):
+            run = engine.run(syms)
+            sequential = SequentialEngine(engine.dfa, config=self.config).run(syms)
+            if run.final_state != sequential.final_state:
+                raise AssertionError(f"fleet FSM {idx} diverged from oracle")
+            reports[idx] = sequential.reports or []
+            per_fsm_cycles.append(run.cycles)
+        # machines run `concurrency` at a time; rounds are serialized
+        per_fsm_cycles.sort(reverse=True)
+        cycles = 0
+        for round_start in range(0, len(per_fsm_cycles), self.concurrency):
+            cycles += per_fsm_cycles[round_start]  # slowest of the round
+        return FleetResult(
+            n_fsms=len(self.engines),
+            n_symbols=int(syms.size),
+            reports=reports,
+            cycles=int(cycles),
+            config=self.config,
+        )

@@ -1,0 +1,41 @@
+"""The 13-benchmark suite (Regex + ANMLZoo substitutes).
+
+The paper evaluates on the Regex suite (Becchi) and ANMLZoo.  Neither
+ruleset collection ships with this reproduction (and at paper scale the
+DFAs reach millions of states), so :mod:`rulesets` generates synthetic
+rulesets that mimic each family's structural signature at a Python-tractable
+scale, :mod:`traces` generates Becchi-style inputs (probability ``p_m`` of
+advancing the automaton), :mod:`splitting` cuts delimiter-structured inputs
+into independent strings, and :mod:`suite` binds everything into the
+Table-I registry the experiment harness iterates over.
+"""
+
+from repro.workloads.rulesets import FAMILY_GENERATORS, generate_ruleset
+from repro.workloads.traces import becchi_trace, random_trace, deepening_symbols
+from repro.workloads.splitting import split_by_delimiter
+from repro.workloads.anml import load_anml, load_anml_dfa
+from repro.workloads.suite import (
+    BenchmarkSpec,
+    BenchmarkInstance,
+    SUITE,
+    benchmark_names,
+    get_benchmark,
+    load_benchmark,
+)
+
+__all__ = [
+    "FAMILY_GENERATORS",
+    "generate_ruleset",
+    "becchi_trace",
+    "random_trace",
+    "deepening_symbols",
+    "split_by_delimiter",
+    "load_anml",
+    "load_anml_dfa",
+    "BenchmarkSpec",
+    "BenchmarkInstance",
+    "SUITE",
+    "benchmark_names",
+    "get_benchmark",
+    "load_benchmark",
+]

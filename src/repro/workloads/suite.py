@@ -1,0 +1,274 @@
+"""The Table-I benchmark registry.
+
+A paper benchmark is a *collection* of FSMs (Table I: e.g. Dotstar03 has
+300 FSMs totalling 19k states): rules are grouped into many small machines
+that all scan the input.  Each :class:`BenchmarkSpec` captures one
+benchmark: its ruleset family, how many FSMs to build and how many rules
+each gets, the input model, and the engine parameters from Table I
+(lookback length ``L``, the MFP merge cut-off, half-cores per segment and
+segment count).  :func:`load_benchmark` materializes a spec into compiled
+DFAs plus per-FSM input strings, with in-process caching so the experiment
+harness can reuse instances across figures.
+
+Scale note: the paper runs hundreds of FSMs per benchmark with 10^4-10^6
+total states; this pure-Python evaluation runs the same pipeline with a
+handful of FSMs at 10^2-10^3 total states (see DESIGN.md §6).  ``scale``
+grows FSM counts and input lengths for larger machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+from repro.core.profiling import ProfilingConfig
+from repro.regex.compile import compile_ruleset
+from repro.workloads.rulesets import generate_ruleset
+from repro.workloads.traces import becchi_trace, deepening_symbols
+
+__all__ = [
+    "BenchmarkSpec",
+    "BenchmarkUnit",
+    "BenchmarkInstance",
+    "SUITE",
+    "benchmark_names",
+    "get_benchmark",
+    "load_benchmark",
+    "clear_cache",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of Table I (plus the synthetic-generation knobs)."""
+
+    name: str
+    family: str
+    #: number of FSMs in the collection (paper: "#FSM", scaled down)
+    n_fsms: int
+    #: rules compiled into each FSM
+    patterns_per_fsm: int
+    #: Table I "L": LBE lookback length
+    lookback: int
+    #: Table I "MFP": merge cut-off coverage (1.0 = merge to 100%)
+    merge_cutoff: float
+    #: Table I "#Half-Core per Segment"
+    cores_per_segment: int
+    #: Table I "#Segment"
+    n_segments: int
+    #: input model
+    n_strings: int = 3
+    input_len: int = 4800
+    p_match: float = 0.75
+    symbol_low: int = 97
+    symbol_high: int = 122
+    #: evaluation-input model: "becchi" (automaton-guided traces),
+    #: "sentences" (word text, Brill), "packets" (NIDS payloads, Snort) or
+    #: "protein" (amino sequences, Protomata).  Profiling always stays on
+    #: uniform random symbols regardless — that gap between profiling and
+    #: evaluation inputs is what Figures 8/18 measure.
+    input_kind: str = "becchi"
+    delimiter: Optional[int] = None
+    pattern_seed: int = 1
+    input_seed: int = 2
+    profile_inputs: int = 250
+
+    @property
+    def profile_len(self) -> int:
+        """Profiling string length, matched to the segment length.
+
+        The paper profiles with strings of the length real deployments
+        split the input into — for us, one segment's worth of symbols.
+        """
+        return max(100, self.input_len // self.n_segments)
+
+    def profiling_config(self, fsm_index: int = 0) -> ProfilingConfig:
+        """Random-input profiling matched to this benchmark's symbol range.
+
+        Profiling never uses the evaluation inputs (Section IV-B1): only
+        string length and symbol range are taken from the spec.
+        """
+        return ProfilingConfig(
+            n_inputs=self.profile_inputs,
+            input_len=self.profile_len,
+            symbol_low=self.symbol_low,
+            symbol_high=self.symbol_high,
+            seed=self.pattern_seed * 7919 + fsm_index * 101 + 13,
+        )
+
+    def scaled(self, scale: float) -> "BenchmarkSpec":
+        """Uniformly scale the FSM count and input length."""
+        return replace(
+            self,
+            n_fsms=max(1, int(round(self.n_fsms * scale))),
+            input_len=max(64, int(self.input_len * scale)),
+        )
+
+
+@dataclass
+class BenchmarkUnit:
+    """One FSM of a benchmark collection plus its evaluation inputs."""
+
+    fsm_index: int
+    dfa: Dfa
+    patterns: List[str]
+    strings: List[np.ndarray]
+
+
+@dataclass
+class BenchmarkInstance:
+    """A materialized benchmark: all FSMs with their inputs."""
+
+    spec: BenchmarkSpec
+    units: List[BenchmarkUnit]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_fsms(self) -> int:
+        return len(self.units)
+
+    @property
+    def total_states(self) -> int:
+        return sum(unit.dfa.num_states for unit in self.units)
+
+    @property
+    def total_patterns(self) -> int:
+        return sum(len(unit.patterns) for unit in self.units)
+
+
+def _spec(name, family, n_fsms, per_fsm, lookback, cutoff, cores, segments, **kw):
+    return BenchmarkSpec(
+        name=name,
+        family=family,
+        n_fsms=n_fsms,
+        patterns_per_fsm=per_fsm,
+        lookback=lookback,
+        merge_cutoff=cutoff,
+        cores_per_segment=cores,
+        n_segments=segments,
+        **kw,
+    )
+
+
+#: Table I, scaled to Python-tractable sizes.  L, MFP cut-off, half-cores
+#: per segment and segment counts are the paper's values verbatim.
+#: Pattern-per-FSM counts follow the paper's state budget: Table I's
+#: #FSM / #State columns put the average FSM at 45-65 states, i.e. one or
+#: two rules per machine.
+SUITE: Tuple[BenchmarkSpec, ...] = (
+    # Dotstar-family traces use a lower nominal p_match: armed `.*` states
+    # make most symbols "deepening", so the effective advance rate at 0.75
+    # would far exceed Becchi-trace match density; 0.15 restores a
+    # realistic mix of partial matches that arm without always resolving.
+    _spec("Dotstar03", "Dotstar03", 8, 2, 30, 1.00, 1, 16, p_match=0.15),
+    _spec("Dotstar06", "Dotstar06", 8, 2, 30, 1.00, 1, 16, p_match=0.15),
+    _spec("Dotstar09", "Dotstar09", 8, 1, 30, 0.99, 1, 16, p_match=0.15),
+    _spec("Ranges05", "Ranges05", 8, 2, 20, 1.00, 1, 16),
+    _spec("Ranges1", "Ranges1", 8, 2, 10, 1.00, 1, 16),
+    _spec("ExactMatch", "ExactMatch", 8, 3, 10, 1.00, 1, 16),
+    _spec("TCP", "TCP", 8, 2, 30, 1.00, 1, 16),
+    _spec("PowerEN", "PowerEN", 6, 2, 20, 1.00, 1, 16),
+    _spec("Dotstar", "Dotstar", 8, 2, 20, 1.00, 2, 8, p_match=0.15),
+    _spec(
+        "Protomata", "Protomata", 6, 2, 20, 0.99, 2, 8,
+        symbol_low=65, symbol_high=89, input_kind="protein",
+    ),
+    _spec(
+        "Snort", "Snort", 8, 2, 10, 0.99, 3, 5,
+        symbol_low=32, symbol_high=126, delimiter=0, input_kind="packets",
+    ),
+    _spec(
+        "Clamav", "Clamav", 6, 2, 40, 0.99, 3, 5,
+        symbol_low=48, symbol_high=102,
+    ),
+    _spec(
+        "Brill", "Brill", 6, 2, 50, 1.00, 3, 5,
+        symbol_low=32, symbol_high=122, delimiter=46, input_kind="sentences",
+    ),
+)
+
+def _generate_strings(spec: BenchmarkSpec, dfa, rng) -> List[np.ndarray]:
+    """Evaluation inputs per the spec's input model (never used in
+    profiling)."""
+    from repro.workloads import corpus  # local import avoids a cycle
+
+    if spec.input_kind == "sentences":
+        return [
+            corpus.sentence_corpus(rng, spec.input_len)
+            for _ in range(spec.n_strings)
+        ]
+    if spec.input_kind == "packets":
+        return [
+            corpus.packet_corpus(rng, spec.input_len,
+                                 delimiter=spec.delimiter or 0)
+            for _ in range(spec.n_strings)
+        ]
+    if spec.input_kind == "protein":
+        return [
+            corpus.protein_corpus(rng, spec.input_len)
+            for _ in range(spec.n_strings)
+        ]
+    if spec.input_kind != "becchi":
+        raise ValueError(f"unknown input_kind {spec.input_kind!r}")
+    deepening = deepening_symbols(dfa, spec.symbol_low, spec.symbol_high)
+    return [
+        becchi_trace(
+            dfa,
+            rng,
+            spec.input_len,
+            p_match=spec.p_match,
+            symbol_low=spec.symbol_low,
+            symbol_high=spec.symbol_high,
+            deepening=deepening,
+        )
+        for _ in range(spec.n_strings)
+    ]
+
+
+_CACHE: Dict[Tuple[str, float], BenchmarkInstance] = {}
+
+
+def benchmark_names() -> List[str]:
+    return [spec.name for spec in SUITE]
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    for spec in SUITE:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown benchmark {name!r}; known: {benchmark_names()}")
+
+
+def load_benchmark(name: str, scale: float = 1.0) -> BenchmarkInstance:
+    """Compile and populate a benchmark (cached per (name, scale))."""
+    key = (name, scale)
+    if key in _CACHE:
+        return _CACHE[key]
+    spec = get_benchmark(name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    units: List[BenchmarkUnit] = []
+    for fsm_index in range(spec.n_fsms):
+        patterns = generate_ruleset(
+            spec.family,
+            spec.patterns_per_fsm,
+            spec.pattern_seed + 1000 * fsm_index,
+        )
+        dfa = compile_ruleset(patterns)
+        rng = np.random.default_rng(spec.input_seed + 1000 * fsm_index)
+        strings = _generate_strings(spec, dfa, rng)
+        units.append(BenchmarkUnit(fsm_index, dfa, patterns, strings))
+    instance = BenchmarkInstance(spec, units)
+    _CACHE[key] = instance
+    return instance
+
+
+def clear_cache() -> None:
+    """Drop cached instances (tests use this to control memory)."""
+    _CACHE.clear()

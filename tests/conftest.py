@@ -1,0 +1,52 @@
+"""Shared fixtures: small automata with known-by-hand behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import Dfa
+from repro.automata.builders import literal_matcher_dfa, random_dfa
+from repro.regex.compile import compile_ruleset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mod3_dfa():
+    """DFA over {0,1} computing (2*state + bit) mod 3; accepts multiples of 3.
+
+    A permutation-free but non-trivially converging machine with a fully
+    understood transition structure.
+    """
+    table = np.zeros((2, 3), dtype=np.int32)
+    for q in range(3):
+        table[0, q] = (2 * q) % 3
+        table[1, q] = (2 * q + 1) % 3
+    return Dfa(table, 0, [0])
+
+
+@pytest.fixture
+def ab_matcher():
+    """Scan DFA reporting every occurrence of the literal 'ab'."""
+    return literal_matcher_dfa([ord("a"), ord("b")], 256)
+
+
+@pytest.fixture
+def small_ruleset_dfa():
+    """A realistic multi-pattern scan DFA used across engine tests."""
+    return compile_ruleset(["cat", "dog", "fi(sh|ne)", "h[ao]t", "gr[ae]y{1,2}"])
+
+
+@pytest.fixture
+def random_dfa_8(rng):
+    """A uniformly random 8-state DFA over a 4-symbol alphabet."""
+    return random_dfa(8, 4, rng)
+
+
+def make_text(words, repeats=30):
+    """Helper: realistic text input as bytes."""
+    return (" ".join(words) + " ").encode() * repeats

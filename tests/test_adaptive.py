@@ -1,0 +1,115 @@
+"""Unit tests for the adaptive (online-refinement) CSE extension."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import cycle_dfa
+from repro.core.adaptive import AdaptiveCseEngine
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.regex.compile import compile_ruleset
+
+
+@pytest.fixture
+def stride_dfa():
+    """An FSM with permanent stride basins: trivial partitions misfire."""
+    return compile_ruleset(["^(..)*abc"])
+
+
+class TestLearning:
+    def test_refines_after_repeated_divergence(self, rng):
+        dfa = cycle_dfa(6)
+        engine = AdaptiveCseEngine(
+            dfa, n_segments=4, partition=StatePartition.trivial(6),
+            min_divergences=2,
+        )
+        initial_blocks = engine.partition.num_blocks
+        for _ in range(4):
+            word = rng.integers(0, 2, size=80)
+            result = engine.run(word)
+            assert result.final_state == dfa.run(word)
+        assert engine.refinements_applied >= 1
+        assert engine.partition.num_blocks > initial_blocks
+
+    def test_reexec_drops_after_learning(self, stride_dfa, rng):
+        """The headline property: re-executions vanish once the stride
+        basins are separated."""
+        engine = AdaptiveCseEngine(
+            stride_dfa, n_segments=8,
+            partition=StatePartition.trivial(stride_dfa.num_states),
+            min_divergences=1,
+        )
+        words = [rng.integers(97, 123, size=800) for _ in range(6)]
+        early = engine.run(words[0]).reexec_segments
+        for word in words[1:-1]:
+            engine.run(word)
+        late = engine.run(words[-1]).reexec_segments
+        assert late <= early
+        if early > 0:
+            assert engine.refinements_applied >= 1
+
+    def test_correctness_preserved_throughout(self, stride_dfa, rng):
+        engine = AdaptiveCseEngine(
+            stride_dfa, n_segments=4,
+            partition=StatePartition.trivial(stride_dfa.num_states),
+            min_divergences=1,
+        )
+        for _ in range(5):
+            word = rng.integers(97, 123, size=400)
+            assert engine.run(word).final_state == stride_dfa.run(word)
+
+
+class TestGuards:
+    def test_max_blocks_cap(self, rng):
+        dfa = cycle_dfa(8)
+        engine = AdaptiveCseEngine(
+            dfa, n_segments=4, partition=StatePartition.trivial(8),
+            min_divergences=1, max_blocks=2,
+        )
+        for _ in range(4):
+            engine.run(rng.integers(0, 2, size=60))
+        assert engine.partition.num_blocks <= 2
+
+    def test_min_divergences_hysteresis(self, rng):
+        dfa = cycle_dfa(6)
+        patient = AdaptiveCseEngine(
+            dfa, n_segments=4, partition=StatePartition.trivial(6),
+            min_divergences=50,
+        )
+        patient.run(rng.integers(0, 2, size=60))
+        assert patient.refinements_applied == 0
+
+    def test_invalid_min_divergences(self):
+        dfa = cycle_dfa(4)
+        with pytest.raises(ValueError):
+            AdaptiveCseEngine(dfa, partition=StatePartition.trivial(4),
+                              min_divergences=0)
+
+    def test_no_learning_when_everything_converges(self, small_ruleset_dfa, rng):
+        engine = AdaptiveCseEngine(
+            small_ruleset_dfa, n_segments=4,
+            partition=StatePartition.trivial(small_ruleset_dfa.num_states),
+            min_divergences=1,
+        )
+        word = rng.integers(97, 123, size=800)
+        engine.run(word)
+        if engine.run(word).reexec_segments == 0:
+            # converging workload: partition may stay put
+            assert engine.partition.num_blocks >= 1
+
+
+class TestComparisonWithStatic:
+    def test_adaptive_never_slower_on_stationary_divergent_load(self, rng):
+        """On a workload the static partition keeps mispredicting, the
+        adaptive engine ends up with fewer total re-executions."""
+        dfa = cycle_dfa(6)
+        words = [np.random.default_rng(i).integers(0, 2, size=120)
+                 for i in range(8)]
+        static = CseEngine(dfa, n_segments=4,
+                           partition=StatePartition.trivial(6))
+        adaptive = AdaptiveCseEngine(dfa, n_segments=4,
+                                     partition=StatePartition.trivial(6),
+                                     min_divergences=1)
+        static_total = sum(static.run(w).reexec_segments for w in words)
+        adaptive_total = sum(adaptive.run(w).reexec_segments for w in words)
+        assert adaptive_total <= static_total

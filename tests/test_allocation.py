@@ -1,0 +1,82 @@
+"""Unit tests for the half-core allocation planner."""
+
+import pytest
+
+from repro.analysis.model import SegmentModel
+from repro.hardware.allocation import (
+    AllocationPlan,
+    feasible_splits,
+    plan_allocation,
+)
+from repro.hardware.ap import APConfig
+
+
+class TestFeasibleSplits:
+    def test_rank_of_16(self):
+        splits = feasible_splits(16)
+        assert (1, 16) in splits
+        assert (2, 8) in splits
+        assert (3, 5) in splits  # the paper's ANMLZoo split
+        assert (16, 1) in splits
+
+    def test_capacity_respected(self):
+        for cores, segments in feasible_splits(16):
+            assert cores * segments <= 16
+
+    def test_min_segments_filter(self):
+        splits = feasible_splits(16, min_segments=8)
+        assert all(s >= 8 for _, s in splits)
+
+
+class TestPlanAllocation:
+    def test_easy_workload_takes_thin_segments(self):
+        """Fully convergent FSMs want maximum parallelism: 1/16."""
+        model = SegmentModel(r0=1, t_stabilize=2, r_floor=1)
+        plan = plan_allocation(model, input_len=4800)
+        assert plan.n_segments == 16
+        assert plan.cores_per_segment == 1
+        assert plan.predicted_speedup == pytest.approx(16.0, rel=0.05)
+
+    def test_flow_heavy_splits_tie_and_more_segments_wins(self):
+        """With divisible flows, thick and thin splits tie on throughput
+        (halving segments doubles length, exactly offsetting the per-core
+        gain); the tie-break then picks the thin split.  The paper's thick
+        splits come from AP *capacity*, modeled via
+        ``min_cores_per_segment``."""
+        heavy = SegmentModel(r0=6, t_stabilize=0, r_floor=6)
+        plan = plan_allocation(heavy, input_len=4800)
+        assert plan.n_segments == 16
+
+    def test_capacity_constraint_forces_thick_segments(self):
+        """A Table-I style 3-half-core FSM gets the 3/5 split."""
+        model = SegmentModel(r0=2, t_stabilize=10, r_floor=1)
+        plan = plan_allocation(model, input_len=4800,
+                               min_cores_per_segment=3)
+        assert plan.cores_per_segment >= 3
+        assert plan.n_segments == 5  # 3/5, the paper's ANMLZoo split
+
+    def test_plan_beats_or_ties_every_split(self):
+        model = SegmentModel(r0=4, t_stabilize=100, r_floor=2)
+        plan = plan_allocation(model, input_len=4800)
+        from repro.analysis.model import predict_speedup
+
+        for cores, segments in feasible_splits(16):
+            other = predict_speedup(model, 4800, segments,
+                                    cores_per_segment=cores)
+            assert plan.predicted_speedup >= other - 1e-9
+
+    def test_reexec_rate_lowers_prediction(self):
+        model = SegmentModel(r0=1, t_stabilize=2, r_floor=1)
+        clean = plan_allocation(model, 4800, reexec_rate=0.0)
+        dirty = plan_allocation(model, 4800, reexec_rate=0.3)
+        assert dirty.predicted_speedup < clean.predicted_speedup
+
+    def test_half_cores_used_property(self):
+        plan = AllocationPlan(3, 5, 4.9)
+        assert plan.half_cores_used == 15
+
+    def test_custom_rank_size(self):
+        model = SegmentModel(r0=1, t_stabilize=0, r_floor=1)
+        plan = plan_allocation(model, 4800,
+                               config=APConfig(total_half_cores=4))
+        assert plan.n_segments <= 4

@@ -1,0 +1,102 @@
+"""Unit tests for alphabet compression (symbol classes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.alphabet import compress_alphabet, symbol_classes
+from repro.automata.dfa import Dfa
+from repro.regex.compile import compile_ruleset
+
+
+class TestSymbolClasses:
+    def test_identical_columns_share_class(self):
+        # symbols 0 and 2 behave identically
+        table = np.array([[1, 0], [0, 1], [1, 0]], dtype=np.int32)
+        classes = symbol_classes(Dfa(table, 0, []))
+        assert classes[0] == classes[2]
+        assert classes[0] != classes[1]
+
+    def test_first_appearance_numbering(self):
+        table = np.array([[1, 0], [0, 1], [1, 0]], dtype=np.int32)
+        classes = symbol_classes(Dfa(table, 0, []))
+        assert classes[0] == 0  # first symbol gets class 0
+        assert classes[1] == 1
+
+    def test_all_distinct(self, mod3_dfa):
+        classes = symbol_classes(mod3_dfa)
+        assert len(set(classes.tolist())) == 2
+
+    def test_text_ruleset_compresses_well(self, small_ruleset_dfa):
+        classes = symbol_classes(small_ruleset_dfa)
+        n_classes = len(set(classes.tolist()))
+        # 256 bytes but only the pattern letters matter
+        assert n_classes < 30
+
+
+class TestCompressedDfa:
+    def test_equivalent_on_text(self, small_ruleset_dfa):
+        compressed = compress_alphabet(small_ruleset_dfa)
+        text = b"the cat sat on a hot dog in gray fog"
+        assert compressed.run(text) == small_ruleset_dfa.run(text)
+        assert compressed.run_reports(text) == small_ruleset_dfa.run_reports(text)
+
+    def test_compression_ratio(self, small_ruleset_dfa):
+        compressed = compress_alphabet(small_ruleset_dfa)
+        assert compressed.compression_ratio > 8
+        assert compressed.num_classes * compressed.compression_ratio == (
+            pytest.approx(256)
+        )
+
+    def test_table_shrinks(self, small_ruleset_dfa):
+        compressed = compress_alphabet(small_ruleset_dfa)
+        assert compressed.dfa.transitions.size < (
+            small_ruleset_dfa.transitions.size
+        )
+        assert compressed.dfa.num_states == small_ruleset_dfa.num_states
+
+    def test_translate_validates_range(self, small_ruleset_dfa):
+        compressed = compress_alphabet(small_ruleset_dfa)
+        with pytest.raises(ValueError):
+            compressed.translate([999])
+
+    def test_custom_start_state(self, small_ruleset_dfa):
+        compressed = compress_alphabet(small_ruleset_dfa)
+        assert compressed.run(b"cat", state=1) == small_ruleset_dfa.run(
+            b"cat", state=1
+        )
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, data):
+        n = data.draw(st.integers(2, 10))
+        k = data.draw(st.integers(1, 6))
+        table = np.asarray(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, n - 1), min_size=n, max_size=n),
+                    min_size=k, max_size=k,
+                )
+            ),
+            dtype=np.int32,
+        )
+        dfa = Dfa(table, 0, [n - 1])
+        compressed = compress_alphabet(dfa)
+        word = data.draw(
+            st.lists(st.integers(0, k - 1), min_size=0, max_size=40)
+        )
+        assert compressed.run(word) == dfa.run(word)
+
+    def test_engines_run_on_compressed_machine(self, small_ruleset_dfa, rng):
+        """The compressed DFA is a first-class machine: engines accept it."""
+        from repro.core.engine import CseEngine
+        from repro.core.partition import StatePartition
+
+        compressed = compress_alphabet(small_ruleset_dfa)
+        engine = CseEngine(
+            compressed.dfa, n_segments=4,
+            partition=StatePartition.trivial(compressed.dfa.num_states),
+        )
+        raw = rng.integers(97, 123, size=400)
+        translated = compressed.translate(raw)
+        assert engine.run(translated).final_state == small_ruleset_dfa.run(raw)

@@ -1,0 +1,145 @@
+"""Unit tests for DFA structural analyses (repro.automata.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.automata import analysis
+from repro.automata.dfa import Dfa
+from repro.automata.builders import literal_matcher_dfa
+from repro.regex.compile import compile_pattern, compile_ruleset
+
+
+class TestDeadStates:
+    def test_sink_is_dead(self):
+        # state 1 is a non-accepting absorbing sink
+        table = np.array([[1, 1], [0, 1]], dtype=np.int32)
+        dfa = Dfa(table, 0, [0])
+        dead = analysis.dead_states(dfa)
+        assert dead.tolist() == [False, True]
+
+    def test_no_accepting_means_all_dead(self):
+        table = np.array([[1, 0]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        assert analysis.dead_states(dfa).all()
+
+    def test_accepting_never_dead(self, small_ruleset_dfa):
+        dead = analysis.dead_states(small_ruleset_dfa)
+        for a in small_ruleset_dfa.accepting:
+            assert not dead[a]
+
+    def test_transitively_dead(self):
+        # 0 -> 1 -> 2(sink); only state 3 (a self-loop) is accepting, and
+        # nothing reaches it, so the whole 0-1-2 chain is dead
+        table = np.array([[1, 2, 2, 3]], dtype=np.int32)
+        dfa = Dfa(table, 0, [3])
+        dead = analysis.dead_states(dfa)
+        assert dead.tolist() == [True, True, True, False]
+
+    def test_predecessor_of_live_state_is_live(self):
+        # 0 -> 1(accepting sink): both live
+        table = np.array([[1, 1]], dtype=np.int32)
+        dfa = Dfa(table, 0, [1])
+        assert analysis.dead_states(dfa).tolist() == [False, False]
+
+
+class TestSymbolImage:
+    def test_image_of_constant_symbol(self):
+        # symbol 0 sends everything to state 1
+        table = np.array([[1, 1, 1], [0, 1, 2]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        assert analysis.symbol_image(dfa, 0).tolist() == [1]
+        assert analysis.symbol_image(dfa, 1).tolist() == [0, 1, 2]
+
+    def test_image_sizes_vector(self):
+        table = np.array([[1, 1, 1], [0, 1, 2]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        assert analysis.symbol_image_sizes(dfa).tolist() == [1, 3]
+
+    def test_image_restricted_to_states(self):
+        table = np.array([[1, 2, 0]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        assert analysis.symbol_image(dfa, 0, states=[0]).tolist() == [1]
+
+    def test_symbol_frequencies(self):
+        freqs = analysis.symbol_frequencies(np.array([1, 1, 3]), 5)
+        assert freqs.tolist() == [0, 2, 0, 1, 0]
+
+
+class TestConnectedComponents:
+    def test_disjoint_machines(self):
+        # two separate 2-cycles: {0,1} and {2,3}
+        table = np.array([[1, 0, 3, 2]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        ccs = analysis.connected_components(dfa)
+        assert sorted(sorted(c) for c in ccs) == [[0, 1], [2, 3]]
+
+    def test_single_component_when_linked(self, mod3_dfa):
+        ccs = analysis.connected_components(mod3_dfa)
+        assert len(ccs) == 1
+        assert sorted(ccs[0]) == [0, 1, 2]
+
+    def test_scoped_components(self):
+        table = np.array([[1, 0, 3, 2]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        ccs = analysis.connected_components(dfa, states=[0, 2])
+        # edges leaving the scope are ignored: 0 and 2 are isolated
+        assert sorted(sorted(c) for c in ccs) == [[0], [2]]
+
+    def test_components_sorted_by_size(self):
+        # sizes 3 ({0,1,2} cycle) and 1 ({3} self-loop)
+        table = np.array([[1, 2, 0, 3]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        ccs = analysis.connected_components(dfa)
+        assert [len(c) for c in ccs] == [3, 1]
+
+
+class TestAlwaysActive:
+    def test_full_self_loop_detected(self):
+        table = np.array([[1, 1], [0, 1]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        assert analysis.always_active_states(dfa).tolist() == [1]
+
+    def test_partial_self_loop_not_detected(self):
+        table = np.array([[0, 1], [1, 1]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        # state 0 loops on symbol 0 only
+        assert 0 not in analysis.always_active_states(dfa).tolist()
+
+    def test_scan_dfa_has_dead_sink_loop(self):
+        # an anchored pattern's DFA has an absorbing reject sink
+        dfa = compile_pattern("^abc$", mode="fullmatch")
+        loops = analysis.always_active_states(dfa)
+        assert loops.size >= 1
+
+
+class TestCommonParents:
+    def test_parents_of_target(self):
+        table = np.array([[1, 1, 0]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        parents = analysis.common_parents(dfa, 0, [1])
+        assert parents.tolist() == [0, 1]
+
+    def test_empty_targets(self, mod3_dfa):
+        assert analysis.common_parents(mod3_dfa, 0, []).size == 0
+
+    def test_parents_cover_feasible_range(self, ab_matcher):
+        image = analysis.symbol_image(ab_matcher, ord("a"))
+        parents = analysis.common_parents(ab_matcher, ord("a"), image)
+        # every state is a parent of the 'a'-image by construction
+        assert parents.size == ab_matcher.num_states
+
+
+class TestUnionFind:
+    def test_basic_union(self):
+        uf = analysis.UnionFind(4)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) != uf.find(0)
+
+    def test_groups(self):
+        uf = analysis.UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [[0, 1], [2, 3]]

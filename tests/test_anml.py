@@ -1,0 +1,140 @@
+"""Unit tests for the ANML loader."""
+
+import pytest
+
+from repro.regex.compile import compile_ruleset
+from repro.workloads.anml import (
+    anml_to_nfa,
+    load_anml,
+    load_anml_dfa,
+    parse_symbol_set,
+)
+
+# a scan-style 'ab' matcher: start STE on 'a' re-armed at every position
+ANML_AB = """
+<automata-network id="net">
+  <state-transition-element id="q_a" symbol-set="[a]"
+                            start-of-data="all-input">
+    <activate-on-match element="q_b"/>
+  </state-transition-element>
+  <state-transition-element id="q_b" symbol-set="[b]">
+    <report-on-match/>
+  </state-transition-element>
+</automata-network>
+"""
+
+ANML_ANCHORED = """
+<automata-network id="net">
+  <state-transition-element id="s0" symbol-set="[x]"
+                            start-of-data="start-of-data">
+    <activate-on-match element="s1"/>
+  </state-transition-element>
+  <state-transition-element id="s1" symbol-set="[y]">
+    <report-on-match/>
+  </state-transition-element>
+</automata-network>
+"""
+
+
+class TestParseSymbolSet:
+    def test_single_char(self):
+        assert parse_symbol_set("a") == frozenset([ord("a")])
+
+    def test_star(self):
+        assert len(parse_symbol_set("*")) == 256
+
+    def test_bracket_range(self):
+        assert parse_symbol_set("[a-c]") == frozenset(map(ord, "abc"))
+
+    def test_bracket_negation(self):
+        symbols = parse_symbol_set("[^a]")
+        assert ord("a") not in symbols
+
+    def test_hex_escape(self):
+        assert parse_symbol_set(r"\x41") == frozenset([0x41])
+
+    def test_unsupported(self):
+        with pytest.raises(ValueError):
+            parse_symbol_set("abc")
+
+
+class TestAnmlToNfa:
+    def test_scan_semantics(self):
+        nfa = anml_to_nfa(ANML_AB)
+        assert nfa.accepts(b"ab")
+        assert nfa.accepts(b"zzab")
+        assert not nfa.accepts(b"a")
+        assert not nfa.accepts(b"ba")
+
+    def test_matches_regex_equivalent(self):
+        """The ANML 'ab' scanner equals our compiled scan DFA for 'ab'."""
+        dfa_anml = load_anml_dfa(ANML_AB)
+        dfa_regex = compile_ruleset(["ab"])
+        text = b"xxabyyabz"
+        assert (
+            [off for off, _ in dfa_anml.run_reports(text)]
+            == [off for off, _ in dfa_regex.run_reports(text)]
+        )
+
+    def test_anchored_start(self):
+        nfa = anml_to_nfa(ANML_ANCHORED)
+        assert nfa.accepts(b"xy")
+        assert not nfa.accepts(b"zxy")  # start-of-data: position 0 only
+
+    def test_missing_report_rejected(self):
+        bad = ANML_AB.replace("<report-on-match/>", "")
+        with pytest.raises(ValueError, match="report"):
+            anml_to_nfa(bad)
+
+    def test_missing_start_rejected(self):
+        bad = ANML_AB.replace(' start-of-data="all-input"', "")
+        with pytest.raises(ValueError, match="start"):
+            anml_to_nfa(bad)
+
+    def test_unknown_activation_target(self):
+        bad = ANML_AB.replace('element="q_b"', 'element="nope"')
+        with pytest.raises(ValueError, match="unknown"):
+            anml_to_nfa(bad)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            anml_to_nfa("<automata-network/>")
+
+    def test_malformed_xml_rejected_cleanly(self):
+        with pytest.raises(ValueError, match="well-formed"):
+            anml_to_nfa("this is not xml <at all")
+
+    def test_missing_id_rejected(self):
+        bad = ANML_AB.replace('id="q_a" ', "")
+        with pytest.raises(ValueError, match="id"):
+            anml_to_nfa(bad)
+
+
+class TestLoadFiles:
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "net.anml"
+        path.write_text(ANML_AB)
+        nfa = load_anml(path)
+        assert nfa.accepts(b"ab")
+
+    def test_load_dfa_from_path(self, tmp_path):
+        path = tmp_path / "net.anml"
+        path.write_text(ANML_AB)
+        dfa = load_anml_dfa(path)
+        assert dfa.matches_anywhere(b"zzab")
+
+    def test_load_dfa_from_text(self):
+        dfa = load_anml_dfa(ANML_AB)
+        assert dfa.matches_anywhere(b"ab")
+
+    def test_dfa_runs_in_engine(self):
+        from repro.core.engine import CseEngine
+        from repro.core.partition import StatePartition
+
+        dfa = load_anml_dfa(ANML_AB)
+        engine = CseEngine(
+            dfa, n_segments=4,
+            partition=StatePartition.trivial(dfa.num_states),
+        )
+        text = b"the ab word appears twice: ab." * 10
+        assert engine.run(text).final_state == dfa.run(text)

@@ -1,0 +1,68 @@
+"""Unit tests for DFA serialization."""
+
+import numpy as np
+import pytest
+
+from repro.automata.io import (
+    dfa_from_dict,
+    dfa_to_dict,
+    load_dfa,
+    load_dfa_json,
+    save_dfa,
+    save_dfa_json,
+)
+from repro.automata.builders import random_dfa
+from repro.regex.compile import compile_ruleset
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip_small(self, mod3_dfa, tmp_path):
+        path = tmp_path / "machine.npz"
+        save_dfa(mod3_dfa, path)
+        assert load_dfa(path) == mod3_dfa
+
+    def test_roundtrip_ruleset(self, small_ruleset_dfa, tmp_path):
+        path = tmp_path / "rules.npz"
+        save_dfa(small_ruleset_dfa, path)
+        loaded = load_dfa(path)
+        assert loaded == small_ruleset_dfa
+        text = b"the cat sat"
+        assert loaded.run_reports(text) == small_ruleset_dfa.run_reports(text)
+
+    def test_roundtrip_random(self, rng, tmp_path):
+        for trial in range(3):
+            dfa = random_dfa(20, 5, np.random.default_rng(trial))
+            path = tmp_path / f"r{trial}.npz"
+            save_dfa(dfa, path)
+            assert load_dfa(path) == dfa
+
+
+class TestDictRoundtrip:
+    def test_roundtrip(self, mod3_dfa):
+        assert dfa_from_dict(dfa_to_dict(mod3_dfa)) == mod3_dfa
+
+    def test_json_file_roundtrip(self, mod3_dfa, tmp_path):
+        path = tmp_path / "machine.json"
+        save_dfa_json(mod3_dfa, path)
+        assert load_dfa_json(path) == mod3_dfa
+
+    def test_version_guard(self, mod3_dfa):
+        data = dfa_to_dict(mod3_dfa)
+        data["version"] = 0
+        with pytest.raises(ValueError, match="version"):
+            dfa_from_dict(data)
+
+    def test_shape_guard(self, mod3_dfa):
+        data = dfa_to_dict(mod3_dfa)
+        data["num_states"] = 99
+        with pytest.raises(ValueError, match="shape"):
+            dfa_from_dict(data)
+
+    def test_loaded_dfa_usable_in_engine(self, small_ruleset_dfa, tmp_path):
+        from repro.engines.sequential import SequentialEngine
+
+        path = tmp_path / "m.npz"
+        save_dfa(small_ruleset_dfa, path)
+        engine = SequentialEngine(load_dfa(path))
+        text = b"hot dog"
+        assert engine.run(text).final_state == small_ruleset_dfa.run(text)

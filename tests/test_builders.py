@@ -1,0 +1,108 @@
+"""Unit tests for DFA builders."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import (
+    convergent_random_dfa,
+    cycle_dfa,
+    literal_matcher_dfa,
+    random_dfa,
+)
+
+
+class TestRandomDfa:
+    def test_shape_and_validity(self, rng):
+        dfa = random_dfa(10, 4, rng)
+        assert dfa.num_states == 10
+        assert dfa.alphabet_size == 4
+        assert dfa.transitions.min() >= 0
+        assert dfa.transitions.max() < 10
+
+    def test_deterministic_given_rng_state(self):
+        d1 = random_dfa(10, 4, np.random.default_rng(7))
+        d2 = random_dfa(10, 4, np.random.default_rng(7))
+        assert d1 == d2
+
+    def test_accepting_fraction(self, rng):
+        dfa = random_dfa(20, 2, rng, accepting_fraction=0.5)
+        assert len(dfa.accepting) == 10
+
+    def test_at_least_one_accepting(self, rng):
+        dfa = random_dfa(10, 2, rng, accepting_fraction=0.0)
+        assert len(dfa.accepting) == 1
+
+    def test_rejects_zero_states(self, rng):
+        with pytest.raises(ValueError):
+            random_dfa(0, 2, rng)
+
+
+class TestConvergentRandomDfa:
+    def test_locality_respected(self, rng):
+        dfa = convergent_random_dfa(20, 3, rng, locality=2)
+        base = np.arange(20)
+        for c in range(3):
+            diff = (dfa.transitions[c] - base) % 20
+            # all offsets within [-2, 2] mod 20
+            assert all(d in (0, 1, 2, 18, 19) for d in diff.tolist())
+
+    def test_converges_slower_than_uniform(self, rng):
+        """Sanity on the generator's purpose: local DFAs keep larger sets."""
+        n, word_len = 40, 30
+        word = rng.integers(0, 2, size=word_len)
+        local = convergent_random_dfa(n, 2, np.random.default_rng(3), locality=1)
+        uniform = random_dfa(n, 2, np.random.default_rng(3))
+        all_states = np.arange(n, dtype=np.int32)
+        local_final = local.set_run(all_states, word)
+        uniform_final = uniform.set_run(all_states, word)
+        assert local_final.size >= uniform_final.size
+
+
+class TestCycleDfa:
+    def test_rotation_structure(self):
+        dfa = cycle_dfa(5)
+        assert dfa.step(0, 0) == 1
+        assert dfa.step(4, 0) == 0
+        assert dfa.step(2, 1) == 2  # hold
+
+    def test_never_converges(self):
+        dfa = cycle_dfa(6, 2)
+        states = np.arange(6, dtype=np.int32)
+        final = dfa.set_run(states, [0, 1, 0, 0, 1])
+        assert final.size == 6
+
+
+class TestLiteralMatcher:
+    def test_finds_all_occurrences(self):
+        dfa = literal_matcher_dfa([ord(c) for c in "aba"], 256)
+        reports = dfa.run_reports(b"ababa")
+        # 'aba' ends at 2; sink absorbs afterwards so later offsets also report
+        assert reports[0][0] == 2
+
+    def test_kmp_failure_links(self):
+        # pattern 'aab': after 'aaa' we must still be 2 deep
+        dfa = literal_matcher_dfa([ord("a"), ord("a"), ord("b")], 256)
+        state = dfa.run(b"aaa")
+        assert dfa.run(b"b", state=state) in dfa.accepting
+
+    def test_no_match(self):
+        dfa = literal_matcher_dfa([ord("x")], 256)
+        assert not dfa.matches_anywhere(b"abc")
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(ValueError):
+            literal_matcher_dfa([], 256)
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            literal_matcher_dfa([300], 256)
+
+    def test_matches_python_find(self, rng):
+        """Oracle: matches_anywhere == substring containment."""
+        for _ in range(20):
+            pattern = rng.integers(0, 3, size=int(rng.integers(1, 5))).tolist()
+            text = rng.integers(0, 3, size=30).tolist()
+            dfa = literal_matcher_dfa(pattern, 3)
+            p_str = "".join(map(str, pattern))
+            t_str = "".join(map(str, text))
+            assert dfa.matches_anywhere(text) == (p_str in t_str)

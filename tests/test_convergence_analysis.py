@@ -1,0 +1,69 @@
+"""Unit tests for convergence-dynamics analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    StabilizationStats,
+    stabilization_stats,
+    symbols_to_stabilize,
+)
+from repro.automata.builders import cycle_dfa
+from repro.automata.dfa import Dfa
+from repro.regex.compile import compile_ruleset
+
+
+class TestSymbolsToStabilize:
+    def test_instant_collapse(self):
+        # everything maps to state 0 on any symbol: the recorded size trace
+        # is constant (all 1s), so the machine is stable from position 0
+        table = np.zeros((2, 3), dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        assert symbols_to_stabilize(dfa, [0, 1, 0]) == 0
+
+    def test_permutation_stabilizes_immediately_at_full_size(self):
+        # sizes never change: stable from the start
+        dfa = cycle_dfa(4)
+        assert symbols_to_stabilize(dfa, [0] * 10) == 0
+
+    def test_empty_input(self, mod3_dfa):
+        assert symbols_to_stabilize(mod3_dfa, []) == 0
+
+    def test_late_collapse_detected(self):
+        # collapse only happens on symbol 1; feed 0s then a single 1
+        table = np.array([[1, 2, 0], [0, 0, 0]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        word = [0] * 7 + [1] + [0] * 3
+        # sizes: 3 for positions 0..6, then 1 from position 7 on — the last
+        # differing position is 6, so stabilization takes 7 symbols
+        assert symbols_to_stabilize(dfa, word) == 7
+
+    def test_matches_size_trace(self, small_ruleset_dfa, rng):
+        word = rng.integers(97, 123, size=200)
+        t = symbols_to_stabilize(small_ruleset_dfa, word)
+        states = np.arange(small_ruleset_dfa.num_states, dtype=np.int32)
+        _, sizes = small_ruleset_dfa.set_run(states, word, record_sizes=True)
+        assert len(set(sizes[t:])) <= 1  # constant after t
+        if t > 0:
+            assert sizes[t - 1] != sizes[-1]
+
+
+class TestStabilizationStats:
+    def test_aggregates_over_units(self):
+        from repro.workloads.suite import load_benchmark
+
+        instance = load_benchmark("ExactMatch", scale=0.25)
+        stats = stabilization_stats(instance)
+        assert isinstance(stats, StabilizationStats)
+        assert stats.benchmark == "ExactMatch"
+        assert stats.mean_symbols >= 0
+        assert 0 <= stats.within_10 <= 1
+        assert stats.mean_final_size >= 1.0
+
+    def test_easy_benchmark_converges_fully(self):
+        from repro.workloads.suite import load_benchmark
+
+        instance = load_benchmark("ExactMatch", scale=0.25)
+        stats = stabilization_stats(instance)
+        assert stats.mean_final_size == 1.0
+        assert stats.within_10 == 1.0

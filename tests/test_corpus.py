@@ -1,0 +1,81 @@
+"""Unit tests for structured corpora."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.corpus import (
+    mixed_corpus,
+    packet_corpus,
+    protein_corpus,
+    sentence_corpus,
+)
+from repro.workloads.splitting import split_by_delimiter
+
+
+class TestSentenceCorpus:
+    def test_length_exact(self, rng):
+        text = sentence_corpus(rng, 1000)
+        assert text.size == 1000
+
+    def test_contains_periods_and_spaces(self, rng):
+        text = sentence_corpus(rng, 2000)
+        assert (text == ord(".")).any()
+        assert (text == ord(" ")).any()
+
+    def test_words_from_vocabulary(self, rng):
+        text = sentence_corpus(rng, 500, vocabulary=["cat", "dog"])
+        decoded = bytes(text.astype(np.uint8)).decode()
+        words = decoded.replace(".", " ").split()
+        assert set(words) <= {"cat", "dog"}
+
+    def test_sentences_bounded(self, rng):
+        text = sentence_corpus(rng, 3000, words_per_sentence=5)
+        sentences = split_by_delimiter(text, ord("."))
+        # each sentence roughly 5 words; none enormously long
+        assert all(s.size < 100 for s in sentences)
+
+
+class TestPacketCorpus:
+    def test_length_exact(self, rng):
+        stream = packet_corpus(rng, 1500)
+        assert stream.size == 1500
+
+    def test_delimiters_present(self, rng):
+        stream = packet_corpus(rng, 3000, packet_len=200, delimiter=0)
+        assert (stream == 0).any()
+        packets = split_by_delimiter(stream, 0)
+        assert all(p.size <= 200 for p in packets)
+
+    def test_keywords_injected(self, rng):
+        stream = packet_corpus(rng, 5000, keywords=["NEEDLE"],
+                               keyword_rate=0.05)
+        decoded = bytes((stream % 256).astype(np.uint8)).decode("latin-1")
+        assert "NEEDLE" in decoded
+
+    def test_payload_printable(self, rng):
+        stream = packet_corpus(rng, 1000, delimiter=0)
+        non_delim = stream[stream != 0]
+        assert non_delim.min() >= 32 and non_delim.max() <= 126
+
+
+class TestProteinCorpus:
+    def test_amino_alphabet_only(self, rng):
+        seq = protein_corpus(rng, 800)
+        decoded = bytes(seq.astype(np.uint8)).decode()
+        assert set(decoded) <= set("ACDEFGHIKLMNPQRSTVWY")
+
+    def test_fragments_present(self, rng):
+        seq = protein_corpus(rng, 5000, motif_fragments=["WWWWW"],
+                             fragment_rate=0.02)
+        assert "WWWWW" in bytes(seq.astype(np.uint8)).decode()
+
+
+class TestMixedCorpus:
+    def test_concatenates_to_length(self, rng):
+        pieces = [np.array([1, 2, 3]), np.array([4, 5])]
+        out = mixed_corpus(rng, 10, pieces)
+        assert out.size == 10
+
+    def test_empty_pieces_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mixed_corpus(rng, 10, [])

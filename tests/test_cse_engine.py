@@ -1,0 +1,138 @@
+"""Unit tests for the CSE engine end to end."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import cycle_dfa, random_dfa
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.core.profiling import ProfilingConfig
+from repro.engines.sequential import SequentialEngine
+from repro.regex.compile import compile_ruleset
+
+TEXT = (b"the cat chased a fish while the dog slept in gray hot weather ") * 30
+
+PROFILE = ProfilingConfig(n_inputs=80, input_len=120, symbol_low=97,
+                          symbol_high=122)
+
+
+@pytest.fixture
+def cse(small_ruleset_dfa):
+    return CseEngine(small_ruleset_dfa, n_segments=8, profiling=PROFILE)
+
+
+class TestCorrectness:
+    def test_matches_sequential(self, small_ruleset_dfa, cse):
+        seq = SequentialEngine(small_ruleset_dfa).run(TEXT)
+        assert cse.run(TEXT).final_state == seq.final_state
+
+    def test_matches_on_many_inputs(self, small_ruleset_dfa, cse, rng):
+        for _ in range(5):
+            word = rng.integers(97, 123, size=500)
+            assert cse.run(word).final_state == small_ruleset_dfa.run(word)
+
+    def test_explicit_start_state(self, small_ruleset_dfa, cse):
+        start = 1
+        assert (
+            cse.run(TEXT, start_state=start).final_state
+            == small_ruleset_dfa.run(TEXT, state=start)
+        )
+
+    @pytest.mark.parametrize("policy", ["basic", "last_concrete", "opportunistic"])
+    def test_policies_all_correct_under_divergence(self, policy, rng):
+        dfa = cycle_dfa(5)  # never converges: every run re-executes
+        partition = StatePartition.trivial(5)
+        engine = CseEngine(dfa, n_segments=4, partition=partition, policy=policy)
+        word = rng.integers(0, 2, size=80)
+        result = engine.run(word)
+        assert result.final_state == dfa.run(word)
+        assert result.reexec_segments > 0
+
+    def test_random_dfas_match_oracle(self, rng):
+        for trial in range(8):
+            local = np.random.default_rng(trial + 50)
+            dfa = random_dfa(10, 3, local)
+            partition = StatePartition.from_labels(
+                local.integers(0, 3, size=10).tolist()
+            )
+            engine = CseEngine(dfa, n_segments=5, partition=partition)
+            word = local.integers(0, 3, size=150)
+            assert engine.run(word).final_state == dfa.run(word), trial
+
+
+class TestPartitionHandling:
+    def test_auto_profiling_when_partition_omitted(self, small_ruleset_dfa):
+        engine = CseEngine(small_ruleset_dfa, n_segments=4, profiling=PROFILE)
+        assert engine.prediction is not None
+        assert engine.partition.num_states == small_ruleset_dfa.num_states
+
+    def test_explicit_partition_no_profiling(self, small_ruleset_dfa):
+        partition = StatePartition.trivial(small_ruleset_dfa.num_states)
+        engine = CseEngine(small_ruleset_dfa, partition=partition)
+        assert engine.prediction is None
+        assert engine.partition is partition
+
+    def test_partition_size_mismatch_rejected(self, small_ruleset_dfa):
+        with pytest.raises(ValueError, match="state count"):
+            CseEngine(small_ruleset_dfa, partition=StatePartition.trivial(3))
+
+    def test_num_convergence_sets(self, small_ruleset_dfa):
+        partition = StatePartition.discrete(small_ruleset_dfa.num_states)
+        engine = CseEngine(small_ruleset_dfa, partition=partition)
+        assert engine.num_convergence_sets == small_ruleset_dfa.num_states
+
+
+class TestPerformanceAccounting:
+    def test_speedup_near_ideal_on_text(self, cse):
+        result = cse.run(TEXT)
+        assert result.speedup > 0.5 * result.ideal_speedup
+
+    def test_discrete_partition_degenerates_to_enumerative(self, small_ruleset_dfa):
+        """All-singleton convergence sets = one flow per state."""
+        partition = StatePartition.discrete(small_ruleset_dfa.num_states)
+        engine = CseEngine(small_ruleset_dfa, n_segments=4, partition=partition,
+                           deactivate=False)
+        result = engine.run(TEXT)
+        assert result.r0_mean == small_ruleset_dfa.num_states
+
+    def test_reexec_adds_serial_cycles(self, rng):
+        dfa = cycle_dfa(5)
+        engine = CseEngine(dfa, n_segments=4,
+                           partition=StatePartition.trivial(5))
+        word = rng.integers(0, 2, size=80)
+        result = engine.run(word)
+        assert result.reexec_cycles > 0
+        assert result.speedup < result.ideal_speedup
+
+    def test_details_exposed(self, cse):
+        result = cse.run(TEXT)
+        assert "policy" in result.details
+        assert "num_convergence_sets" in result.details
+        assert result.details["policy"] == "opportunistic"
+
+    def test_segment_traces_cover_input(self, cse):
+        result = cse.run(TEXT)
+        assert sum(s.length for s in result.segments) == len(TEXT)
+
+
+class TestReportMode:
+    def test_track_reports_forces_divergence_on_ambiguity(self):
+        dfa = compile_ruleset(["aa", "ba"])
+        partition = StatePartition.trivial(dfa.num_states)
+        plain = CseEngine(dfa, n_segments=4, partition=partition)
+        strict = CseEngine(dfa, n_segments=4, partition=partition,
+                           track_reports=True)
+        word = b"aabaabaabaabaabaabaabaabaabaabaa"
+        r_plain = plain.run(word)
+        r_strict = strict.run(word)
+        # both correct; strict may re-execute more
+        assert r_plain.final_state == r_strict.final_state == dfa.run(word)
+        assert r_strict.reexec_segments >= r_plain.reexec_segments
+
+    def test_ambiguous_sets_counted(self):
+        dfa = compile_ruleset(["aa", "ba"])
+        partition = StatePartition.trivial(dfa.num_states)
+        engine = CseEngine(dfa, n_segments=4, partition=partition,
+                           track_reports=True)
+        result = engine.run(b"aabaabaabaabaabaabaabaabaabaabaa")
+        assert result.details["ambiguous_sets"] >= 0

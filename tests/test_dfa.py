@@ -1,0 +1,175 @@
+"""Unit tests for the dense DFA core."""
+
+import numpy as np
+import pytest
+
+from repro.automata.dfa import Dfa, as_symbols
+
+
+class TestConstruction:
+    def test_basic_properties(self, mod3_dfa):
+        assert mod3_dfa.num_states == 3
+        assert mod3_dfa.alphabet_size == 2
+        assert mod3_dfa.start == 0
+        assert mod3_dfa.accepting == frozenset([0])
+
+    def test_accepting_mask_matches_set(self, mod3_dfa):
+        assert mod3_dfa.accepting_mask.tolist() == [True, False, False]
+
+    def test_rejects_bad_transition_target(self):
+        table = np.array([[0, 5]], dtype=np.int32)  # 5 out of range
+        with pytest.raises(ValueError, match="out of range"):
+            Dfa(table, 0, [])
+
+    def test_rejects_bad_start(self):
+        table = np.zeros((1, 2), dtype=np.int32)
+        with pytest.raises(ValueError, match="start"):
+            Dfa(table, 7, [])
+
+    def test_rejects_bad_accepting(self):
+        table = np.zeros((1, 2), dtype=np.int32)
+        with pytest.raises(ValueError, match="accepting"):
+            Dfa(table, 0, [9])
+
+    def test_rejects_1d_table(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dfa(np.zeros(4, dtype=np.int32), 0, [])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Dfa(np.zeros((0, 3), dtype=np.int32), 0, [])
+
+    def test_equality_and_hash(self, mod3_dfa):
+        clone = Dfa(mod3_dfa.transitions.copy(), 0, [0])
+        assert clone == mod3_dfa
+        assert hash(clone) == hash(mod3_dfa)
+        other = Dfa(mod3_dfa.transitions.copy(), 1, [0])
+        assert other != mod3_dfa
+
+    def test_from_transition_dict_self_default(self):
+        dfa = Dfa.from_transition_dict(3, 2, {(0, 1): 2}, 0, [2])
+        assert dfa.step(0, 1) == 2
+        assert dfa.step(1, 0) == 1  # self-loop default
+        assert dfa.step(2, 1) == 2
+
+    def test_from_transition_dict_start_default(self):
+        dfa = Dfa.from_transition_dict(3, 2, {(0, 1): 2}, 0, [2], default="start")
+        assert dfa.step(1, 0) == 0
+        assert dfa.step(2, 0) == 0
+
+
+class TestExecution:
+    def test_run_binary_counter(self, mod3_dfa):
+        # reading bits of 6 (110) => 6 mod 3 == 0
+        assert mod3_dfa.run([1, 1, 0]) == 0
+        # 5 (101) => 2
+        assert mod3_dfa.run([1, 0, 1]) == 2
+
+    def test_run_from_explicit_state(self, mod3_dfa):
+        assert mod3_dfa.run([0], state=1) == 2  # 2*1 mod 3
+
+    def test_run_empty_input_is_identity(self, mod3_dfa):
+        assert mod3_dfa.run([]) == mod3_dfa.start
+        assert mod3_dfa.run([], state=2) == 2
+
+    def test_run_trace_includes_start_and_all_steps(self, mod3_dfa):
+        trace = mod3_dfa.run_trace([1, 1, 0])
+        assert trace == [0, 1, 0, 0]
+
+    def test_run_reports_fires_on_accepting(self, ab_matcher):
+        # the literal matcher's accept state absorbs, so every offset from
+        # the first match onward reports
+        reports = ab_matcher.run_reports(b"xxabyab")
+        offsets = [off for off, _state in reports]
+        assert offsets == [3, 4, 5, 6]
+        assert ab_matcher.run_reports(b"aaab")[0][0] == 3
+
+    def test_accepts_and_matches_anywhere(self, ab_matcher):
+        assert ab_matcher.matches_anywhere(b"zzzabzzz")
+        assert not ab_matcher.matches_anywhere(b"zzzazbz")
+        # 'accepts' = ends in accepting state; sink is absorbing here
+        assert ab_matcher.accepts(b"ab")
+        assert ab_matcher.accepts(b"abxxx")
+
+    def test_run_all_states_matches_individual_runs(self, mod3_dfa):
+        word = [1, 0, 1, 1, 0]
+        finals = mod3_dfa.run_all_states(word)
+        for q in range(3):
+            assert finals[q] == mod3_dfa.run(word, state=q)
+
+    def test_run_all_states_empty_input(self, mod3_dfa):
+        finals = mod3_dfa.run_all_states([])
+        assert finals.tolist() == [0, 1, 2]
+
+
+class TestSetOperations:
+    def test_set_step_is_image(self, mod3_dfa):
+        result = mod3_dfa.set_step(np.array([0, 1, 2], dtype=np.int32), 0)
+        # images: 0->0, 1->2, 2->1
+        assert result.tolist() == [0, 1, 2]
+
+    def test_set_run_shrinks_monotonically(self, ab_matcher):
+        states = np.arange(ab_matcher.num_states, dtype=np.int32)
+        _final, sizes = ab_matcher.set_run(states, b"abab", record_sizes=True)
+        assert all(sizes[i + 1] <= sizes[i] for i in range(len(sizes) - 1))
+
+    def test_set_run_matches_pointwise_union(self, random_dfa_8, rng):
+        word = rng.integers(0, 4, size=20)
+        states = np.array([0, 3, 5], dtype=np.int32)
+        got = random_dfa_8.set_run(states, word)
+        want = sorted({int(random_dfa_8.run(word, state=int(q))) for q in states})
+        assert got.tolist() == want
+
+
+class TestStructure:
+    def test_reachable_states_full(self, mod3_dfa):
+        assert mod3_dfa.reachable_states().tolist() == [0, 1, 2]
+
+    def test_reachable_states_partial(self):
+        # state 2 unreachable from 0
+        table = np.array([[1, 0, 2]], dtype=np.int32)
+        dfa = Dfa(table, 0, [])
+        assert dfa.reachable_states().tolist() == [0, 1]
+
+    def test_state_depths(self, ab_matcher):
+        depths = ab_matcher.state_depths()
+        assert depths[ab_matcher.start] == 0
+        assert depths.max() == 2  # 'a' then 'b'
+
+    def test_reverse_edges_count(self, mod3_dfa):
+        rev = mod3_dfa.reverse_edges()
+        assert sum(len(edges) for edges in rev) == 2 * 3  # all transitions
+
+    def test_renumbered_preserves_language(self, mod3_dfa):
+        permuted = mod3_dfa.renumbered([2, 0, 1])
+        for word in ([1, 1, 0], [1, 0, 1], [], [0, 0, 0, 1]):
+            assert permuted.accepts(word) == mod3_dfa.accepts(word)
+
+    def test_renumbered_rejects_non_permutation(self, mod3_dfa):
+        with pytest.raises(ValueError):
+            mod3_dfa.renumbered([0, 0, 1])
+
+    def test_restrict_alphabet(self, mod3_dfa):
+        restricted = mod3_dfa.restrict_alphabet([1])
+        assert restricted.alphabet_size == 1
+        assert restricted.run([0, 0]) == mod3_dfa.run([1, 1])
+
+    def test_iter_transitions_complete(self, mod3_dfa):
+        triples = list(mod3_dfa.iter_transitions())
+        assert len(triples) == 6
+        assert (0, 1, 1) in triples
+
+
+class TestAsSymbols:
+    def test_bytes(self):
+        assert as_symbols(b"ab").tolist() == [97, 98]
+
+    def test_str_latin1(self):
+        assert as_symbols("ab").tolist() == [97, 98]
+
+    def test_list(self):
+        assert as_symbols([1, 2, 3]).tolist() == [1, 2, 3]
+
+    def test_ndarray_passthrough_dtype(self):
+        arr = np.array([4, 5], dtype=np.int64)
+        assert as_symbols(arr).dtype == np.int64

@@ -1,0 +1,66 @@
+"""Broad differential sweep: all engines, many machines, one oracle.
+
+A final safety net on top of the targeted unit/property/exhaustive tests:
+a few hundred randomized (machine, input, configuration) combinations,
+every engine checked against the sequential oracle.  Seeded, so failures
+reproduce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import (
+    convergent_random_dfa,
+    cycle_dfa,
+    random_dfa,
+)
+from repro.core.engine import CseEngine
+from repro.core.hybrid import HybridCseEngine
+from repro.core.partition import StatePartition
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+from repro.engines.prefix import PrefixEngine
+
+
+def machines(seed):
+    rng = np.random.default_rng(seed)
+    yield random_dfa(int(rng.integers(2, 20)), int(rng.integers(2, 5)), rng)
+    yield convergent_random_dfa(
+        int(rng.integers(4, 25)), int(rng.integers(2, 4)), rng,
+        locality=int(rng.integers(1, 4)),
+    )
+    yield cycle_dfa(int(rng.integers(2, 9)), int(rng.integers(2, 4)))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_all_engines_agree_everywhere(seed):
+    rng = np.random.default_rng(1000 + seed)
+    for dfa in machines(seed):
+        word = rng.integers(0, dfa.alphabet_size,
+                            size=int(rng.integers(0, 300)))
+        n_segments = int(rng.integers(1, 9))
+        partition = StatePartition.from_labels(
+            rng.integers(0, 4, size=dfa.num_states).tolist()
+        )
+        expected = dfa.run(word)
+        engines = [
+            EnumerativeEngine(dfa, n_segments=n_segments),
+            LbeEngine(dfa, n_segments=n_segments,
+                      lookback=int(rng.integers(0, 25))),
+            PapEngine(dfa, n_segments=n_segments),
+            PrefixEngine(dfa, n_segments=n_segments),
+            CseEngine(dfa, n_segments=n_segments, partition=partition,
+                      policy=["basic", "last_concrete", "opportunistic"][
+                          seed % 3]),
+            HybridCseEngine(dfa, n_segments=n_segments, partition=partition,
+                            lookback=int(rng.integers(0, 15))),
+        ]
+        for engine in engines:
+            result = engine.run(word)
+            assert result.final_state == expected, (
+                engine.name, seed, dfa, word.tolist()[:30],
+            )
+            # universal cost invariants
+            assert result.cycles >= 0
+            assert sum(s.length for s in result.segments) == word.size

@@ -1,0 +1,107 @@
+"""Engine behaviour across hardware configurations.
+
+Correctness must be invariant to every cost-model knob (they change
+cycles, never answers), and the cost accounting must respond to the knobs
+in the physically sensible direction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+from repro.hardware.ap import APConfig
+
+TEXT = (b"the cat chased a fish while the dog slept in gray hot weather ") * 25
+
+
+def engines_under(config, dfa, cores=1):
+    partition = StatePartition.trivial(dfa.num_states)
+    common = dict(n_segments=8, cores_per_segment=cores, config=config)
+    return [
+        EnumerativeEngine(dfa, **common),
+        LbeEngine(dfa, lookback=15, **common),
+        PapEngine(dfa, **common),
+        CseEngine(dfa, partition=partition, **common),
+    ]
+
+
+class TestCoresPerSegment:
+    @pytest.mark.parametrize("cores", [1, 2, 3])
+    def test_correct_at_any_core_count(self, small_ruleset_dfa, cores):
+        expected = small_ruleset_dfa.run(TEXT)
+        for engine in engines_under(APConfig(), small_ruleset_dfa, cores):
+            assert engine.run(TEXT).final_state == expected, engine.name
+
+    def test_more_cores_never_slower(self, small_ruleset_dfa):
+        for cls in (EnumerativeEngine, LbeEngine):
+            one = cls(small_ruleset_dfa, n_segments=8, cores_per_segment=1)
+            three = cls(small_ruleset_dfa, n_segments=8, cores_per_segment=3)
+            assert three.run(TEXT).cycles <= one.run(TEXT).cycles
+
+    def test_cores_cut_enumeration_cost(self, small_ruleset_dfa):
+        """Full enumeration with many flows benefits most from cores."""
+        one = EnumerativeEngine(small_ruleset_dfa, n_segments=4,
+                                cores_per_segment=1, deactivate=False)
+        four = EnumerativeEngine(small_ruleset_dfa, n_segments=4,
+                                 cores_per_segment=4, deactivate=False)
+        assert four.run(TEXT).cycles < one.run(TEXT).cycles
+
+
+class TestConfigKnobs:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            APConfig(context_switch_cycles=0),
+            APConfig(context_switch_cycles=30),
+            APConfig(check_interval=1),
+            APConfig(check_interval=100),
+            APConfig(convergence_check_cycles_per_pair=0),
+            APConfig(symbol_cycles=2),
+        ],
+    )
+    def test_correct_under_every_config(self, small_ruleset_dfa, config):
+        expected = small_ruleset_dfa.run(TEXT)
+        for engine in engines_under(config, small_ruleset_dfa):
+            assert engine.run(TEXT).final_state == expected, engine.name
+
+    def test_symbol_cycles_scale_baseline(self, small_ruleset_dfa):
+        from repro.engines.sequential import SequentialEngine
+
+        slow_clock = SequentialEngine(small_ruleset_dfa,
+                                      config=APConfig(symbol_cycles=2))
+        assert slow_clock.run(TEXT).cycles == 2 * len(TEXT)
+
+    def test_frequent_checks_cost_more(self, small_ruleset_dfa):
+        eager = EnumerativeEngine(small_ruleset_dfa, n_segments=4,
+                                  config=APConfig(check_interval=1),
+                                  deactivate=False)
+        lazy = EnumerativeEngine(small_ruleset_dfa, n_segments=4,
+                                 config=APConfig(check_interval=100),
+                                 deactivate=False)
+        assert eager.run(TEXT).cycles >= lazy.run(TEXT).cycles
+
+
+class TestInputValidation:
+    def test_symbols_out_of_alphabet_rejected(self, mod3_dfa):
+        engine = EnumerativeEngine(mod3_dfa, n_segments=2)
+        with pytest.raises(ValueError, match="alphabet"):
+            engine.run([0, 1, 7])
+
+    def test_negative_symbols_rejected(self, mod3_dfa):
+        engine = EnumerativeEngine(mod3_dfa, n_segments=2)
+        with pytest.raises(ValueError, match="alphabet"):
+            engine.run(np.array([0, -1]))
+
+    def test_bad_start_state_rejected(self, mod3_dfa):
+        engine = EnumerativeEngine(mod3_dfa, n_segments=2)
+        with pytest.raises(ValueError, match="start state"):
+            engine.run([0, 1], start_state=9)
+
+    def test_empty_input_ok(self, small_ruleset_dfa):
+        for engine in engines_under(APConfig(), small_ruleset_dfa):
+            result = engine.run(b"")
+            assert result.final_state == small_ruleset_dfa.start

@@ -1,0 +1,234 @@
+"""Unit tests for the baseline and comparator engines."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import cycle_dfa, random_dfa
+from repro.engines.base import even_boundaries
+from repro.engines.enumerative import (
+    EnumerativeEngine,
+    absorbing_dead_states,
+    enumerate_all_states,
+)
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+from repro.engines.sequential import SequentialEngine
+from repro.hardware.ap import APConfig
+from repro.regex.compile import compile_ruleset
+
+TEXT = (b"the cat chased a fish while the dog slept in gray hot weather ") * 30
+
+
+class TestEvenBoundaries:
+    def test_exact_division(self):
+        assert even_boundaries(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_goes_first(self):
+        bounds = even_boundaries(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_segments_than_symbols(self):
+        bounds = even_boundaries(2, 4)
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_single_segment(self):
+        assert even_boundaries(5, 1) == [(0, 5)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            even_boundaries(5, 0)
+
+
+class TestSequential:
+    def test_cycles_equal_length(self, small_ruleset_dfa):
+        result = SequentialEngine(small_ruleset_dfa).run(TEXT)
+        assert result.cycles == len(TEXT)
+        assert result.speedup == 1.0
+
+    def test_reports_populated(self, small_ruleset_dfa):
+        result = SequentialEngine(small_ruleset_dfa).run(TEXT)
+        assert result.reports
+        assert result.reports == small_ruleset_dfa.run_reports(TEXT)
+
+    def test_final_state_matches_dfa(self, small_ruleset_dfa):
+        result = SequentialEngine(small_ruleset_dfa).run(TEXT)
+        assert result.final_state == small_ruleset_dfa.run(TEXT)
+
+    def test_throughput_uses_cycle_time(self, small_ruleset_dfa):
+        config = APConfig(cycle_ns=10.0)
+        result = SequentialEngine(small_ruleset_dfa, config=config).run(TEXT)
+        assert result.throughput == pytest.approx(1e8)  # 1 sym / 10ns
+
+
+class TestEnumerateAllStates:
+    def test_finals_match_oracle(self, small_ruleset_dfa, rng):
+        segment = rng.integers(97, 123, size=60)
+        starts, finals, _ = enumerate_all_states(small_ruleset_dfa, segment)
+        oracle = small_ruleset_dfa.run_all_states(segment)
+        assert np.array_equal(finals, oracle[starts])
+
+    def test_subset_of_states(self, small_ruleset_dfa, rng):
+        segment = rng.integers(97, 123, size=40)
+        initial = np.array([0, 3, 5], dtype=np.int32)
+        starts, finals, _ = enumerate_all_states(
+            small_ruleset_dfa, segment, initial_states=initial
+        )
+        assert starts.tolist() == [0, 3, 5]
+        for s, f in zip(starts, finals):
+            assert small_ruleset_dfa.run(segment, state=int(s)) == f
+
+    def test_r_trace_non_increasing(self, small_ruleset_dfa, rng):
+        segment = rng.integers(97, 123, size=80)
+        _, _, r_trace = enumerate_all_states(small_ruleset_dfa, segment)
+        assert all(b <= a for a, b in zip(r_trace, r_trace[1:]))
+
+    def test_inactive_states_not_charged(self):
+        dfa = compile_ruleset(["^abc$"])  # has an absorbing reject sink
+        dead = absorbing_dead_states(dfa)
+        assert dead  # sanity: the sink exists
+        segment = np.frombuffer(b"zzzz", dtype=np.uint8).astype(np.int64)
+        _, _, with_deact = enumerate_all_states(dfa, segment, inactive=dead)
+        _, _, without = enumerate_all_states(dfa, segment)
+        assert with_deact[-1] <= without[-1]
+
+
+class TestEnumerativeEngine:
+    def test_matches_sequential(self, small_ruleset_dfa):
+        seq = SequentialEngine(small_ruleset_dfa).run(TEXT)
+        result = EnumerativeEngine(small_ruleset_dfa, n_segments=8).run(TEXT)
+        assert result.final_state == seq.final_state
+
+    def test_r0_is_num_states(self, small_ruleset_dfa):
+        result = EnumerativeEngine(
+            small_ruleset_dfa, n_segments=4, deactivate=False
+        ).run(TEXT)
+        assert result.r0_mean == small_ruleset_dfa.num_states
+
+    def test_single_segment_equals_sequential_cost(self, small_ruleset_dfa):
+        result = EnumerativeEngine(small_ruleset_dfa, n_segments=1).run(TEXT)
+        assert result.cycles == len(TEXT)
+
+    def test_speedup_above_one_on_text(self, small_ruleset_dfa):
+        result = EnumerativeEngine(small_ruleset_dfa, n_segments=8).run(TEXT)
+        assert result.speedup > 1.0
+
+    def test_explicit_start_state(self, small_ruleset_dfa):
+        start = 2
+        seq = small_ruleset_dfa.run(TEXT, state=start)
+        result = EnumerativeEngine(small_ruleset_dfa, n_segments=4).run(
+            TEXT, start_state=start
+        )
+        assert result.final_state == seq
+
+
+class TestLbeEngine:
+    def test_matches_sequential(self, small_ruleset_dfa):
+        seq = SequentialEngine(small_ruleset_dfa).run(TEXT)
+        result = LbeEngine(small_ruleset_dfa, n_segments=8, lookback=20).run(TEXT)
+        assert result.final_state == seq.final_state
+
+    def test_lookback_shrinks_r0(self, small_ruleset_dfa):
+        no_lb = LbeEngine(small_ruleset_dfa, n_segments=8, lookback=0).run(TEXT)
+        with_lb = LbeEngine(small_ruleset_dfa, n_segments=8, lookback=30).run(TEXT)
+        assert with_lb.r0_mean <= no_lb.r0_mean
+
+    def test_lookback_cost_charged(self, small_ruleset_dfa):
+        """Longer lookback has a prologue cost: with R0 already minimal,
+        more lookback means more cycles."""
+        short = LbeEngine(small_ruleset_dfa, n_segments=8, lookback=10).run(TEXT)
+        long = LbeEngine(small_ruleset_dfa, n_segments=8, lookback=100).run(TEXT)
+        if short.r0_mean == long.r0_mean == 1.0:
+            assert long.cycles > short.cycles
+
+    def test_never_reexecutes(self, small_ruleset_dfa):
+        result = LbeEngine(small_ruleset_dfa, n_segments=8, lookback=20).run(TEXT)
+        assert result.reexec_segments == 0
+
+    def test_permutation_dfa_still_correct(self, rng):
+        dfa = cycle_dfa(6)
+        word = rng.integers(0, 2, size=100)
+        result = LbeEngine(dfa, n_segments=4, lookback=10).run(word)
+        assert result.final_state == dfa.run(word)
+
+    def test_rejects_negative_lookback(self, small_ruleset_dfa):
+        with pytest.raises(ValueError):
+            LbeEngine(small_ruleset_dfa, lookback=-1)
+
+
+class TestPapEngine:
+    def test_matches_sequential(self, small_ruleset_dfa):
+        seq = SequentialEngine(small_ruleset_dfa).run(TEXT)
+        result = PapEngine(small_ruleset_dfa, n_segments=8).run(TEXT)
+        assert result.final_state == seq.final_state
+
+    def test_all_optimizations_off_still_correct(self, small_ruleset_dfa):
+        engine = PapEngine(
+            small_ruleset_dfa,
+            n_segments=4,
+            use_range_partition=False,
+            use_common_parent=False,
+            use_active_group=False,
+            use_connected_components=False,
+        )
+        result = engine.run(TEXT)
+        assert result.final_state == small_ruleset_dfa.run(TEXT)
+
+    @pytest.mark.parametrize(
+        "flag",
+        ["use_range_partition", "use_common_parent", "use_active_group",
+         "use_connected_components"],
+    )
+    def test_each_optimization_alone_correct(self, small_ruleset_dfa, flag):
+        kwargs = {
+            "use_range_partition": False,
+            "use_common_parent": False,
+            "use_active_group": False,
+            "use_connected_components": False,
+            flag: True,
+        }
+        engine = PapEngine(small_ruleset_dfa, n_segments=6, **kwargs)
+        assert engine.run(TEXT).final_state == small_ruleset_dfa.run(TEXT)
+
+    def test_range_partition_reduces_r0(self, small_ruleset_dfa):
+        """Boundary tuning should never increase the start-set size much."""
+        tuned = PapEngine(small_ruleset_dfa, n_segments=8).run(TEXT)
+        naive = PapEngine(
+            small_ruleset_dfa, n_segments=8, use_range_partition=False,
+            use_common_parent=False,
+        ).run(TEXT)
+        assert tuned.r0_mean <= naive.r0_mean + 1
+
+    def test_uneven_segments_from_range_cuts(self, small_ruleset_dfa):
+        result = PapEngine(small_ruleset_dfa, n_segments=8).run(TEXT)
+        lengths = [s.length for s in result.segments]
+        assert sum(lengths) == len(TEXT)
+
+    def test_permutation_dfa_correct(self, rng):
+        dfa = cycle_dfa(6)
+        word = rng.integers(0, 2, size=120)
+        result = PapEngine(dfa, n_segments=4).run(word)
+        assert result.final_state == dfa.run(word)
+
+    def test_random_dfas_match_oracle(self, rng):
+        for trial in range(10):
+            local = np.random.default_rng(trial + 100)
+            dfa = random_dfa(12, 4, local)
+            word = local.integers(0, 4, size=200)
+            result = PapEngine(dfa, n_segments=5).run(word)
+            assert result.final_state == dfa.run(word), trial
+
+
+class TestEngineValidation:
+    def test_bad_segments(self, small_ruleset_dfa):
+        with pytest.raises(ValueError):
+            SequentialEngine(small_ruleset_dfa).run  # baseline fixed at 1
+            EnumerativeEngine(small_ruleset_dfa, n_segments=0)
+
+    def test_bad_cores(self, small_ruleset_dfa):
+        with pytest.raises(ValueError):
+            EnumerativeEngine(small_ruleset_dfa, cores_per_segment=0)
+
+    def test_run_many(self, small_ruleset_dfa):
+        engine = SequentialEngine(small_ruleset_dfa)
+        results = engine.run_many([b"cat", b"dog"])
+        assert len(results) == 2

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are executable documentation; a broken example is a broken
+deliverable.  Each runs in a subprocess (its own interpreter, like a user
+would) and must exit 0 with its expected headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "matches baseline" in out
+        assert "speedup" in out
+
+    def test_network_ids(self):
+        out = run_example("network_ids.py")
+        assert "flagged packets" in out
+        assert "speedup" in out
+
+    def test_design_comparison(self):
+        out = run_example("design_comparison.py")
+        assert "CSE" in out and "LBE" in out and "PAP" in out
+        assert "matched the sequential oracle" in out
+
+    def test_convergence_profiling(self):
+        out = run_example("convergence_profiling.py")
+        assert "MFP" in out
+        assert "Re-exec rate" in out
+
+    def test_protein_motifs(self):
+        out = run_example("protein_motifs.py")
+        assert "motif" in out
+        assert "mean speedup" in out
+
+    def test_log_scanning(self):
+        out = run_example("log_scanning.py")
+        assert "identical to one-shot scan" in out
+
+    def test_adaptive_learning(self):
+        out = run_example("adaptive_learning.py")
+        assert "refinement" in out
+
+    def test_all_examples_covered(self):
+        """Every example file has a smoke test in this class."""
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py", "network_ids.py", "design_comparison.py",
+            "convergence_profiling.py", "protein_motifs.py",
+            "log_scanning.py", "adaptive_learning.py",
+        }
+        assert scripts == tested

@@ -1,0 +1,112 @@
+"""Integration tests for the experiment harness (scaled-down suite runs)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    MERGE_STRATEGIES,
+    cse_partition_for,
+    evaluate_suite,
+    fig8_mfp_frequency,
+    fig15_lbe_lookback,
+    fig16_cse_r0_by_merge,
+    table1,
+    table2,
+    unit_census,
+)
+from repro.workloads.suite import benchmark_names
+
+# Scale 0.25 shrinks FSM counts and input lengths so these integration
+# tests stay fast; the full-scale run lives in benchmarks/.
+SCALE = 0.25
+FAST_NAMES = ("ExactMatch", "Ranges1")
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1(scale=SCALE)
+        assert len(rows) == 13
+        names = [r["Benchmark"] for r in rows]
+        assert names == benchmark_names()
+        for row in rows:
+            assert row["#State"] > 0
+            assert row["#FSM"] >= 1
+
+    def test_table2_taxonomy(self):
+        rows = table2()
+        assert [r["FSM"] for r in rows] == ["Baseline", "LBE", "PAP", "CSE"]
+        cse = rows[-1]
+        assert cse["Basic FSM"] == "set FSM"
+        assert "convergence set" in cse["Static Optimization"]
+
+
+class TestCensusAndPartitions:
+    def test_census_cached(self):
+        c1 = unit_census("ExactMatch", 0, SCALE)
+        c2 = unit_census("ExactMatch", 0, SCALE)
+        assert c1 is c2
+
+    def test_partition_strategies_ordered(self):
+        """baseline <= 99% <= 100% in block count."""
+        blocks = [
+            cse_partition_for("ExactMatch", 0, strategy, SCALE).num_blocks
+            for strategy in MERGE_STRATEGIES
+        ]
+        assert blocks[0] <= blocks[1] <= blocks[2]
+
+    def test_table1_strategy(self):
+        p = cse_partition_for("ExactMatch", 0, "table1", SCALE)
+        assert p.num_blocks >= 1
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            cse_partition_for("ExactMatch", 0, "110%", SCALE)
+
+
+class TestSuiteEvaluation:
+    def test_sweep_structure_and_oracle(self):
+        sweep = evaluate_suite(scale=SCALE, names=FAST_NAMES)
+        assert set(sweep) == set(FAST_NAMES)
+        for stats in sweep.values():
+            assert {"Baseline", "LBE", "PAP", "CSE"} <= set(stats)
+            assert stats["Baseline"].speedup == pytest.approx(1.0)
+
+    def test_sweep_cached(self):
+        s1 = evaluate_suite(scale=SCALE, names=FAST_NAMES)
+        s2 = evaluate_suite(scale=SCALE, names=FAST_NAMES)
+        assert s1 is s2
+
+    def test_cse_at_least_half_ideal_on_easy_benchmarks(self):
+        sweep = evaluate_suite(scale=SCALE, names=FAST_NAMES)
+        for name, stats in sweep.items():
+            ideal = stats["CSE"].ideal_speedup
+            assert stats["CSE"].speedup >= 0.5 * ideal, name
+
+    def test_include_enumerative_adds_the_dpfsm_baseline(self):
+        sweep = evaluate_suite(scale=SCALE, names=("ExactMatch",),
+                               include_enumerative=True)
+        stats = sweep["ExactMatch"]
+        assert "Enumerative" in stats
+        # full enumeration starts from every state: R0 is the state count
+        assert stats["Enumerative"].r0 > stats["CSE"].r0
+        # and CSE never loses to it
+        assert stats["CSE"].speedup >= stats["Enumerative"].speedup - 1e-9
+
+
+class TestFigures:
+    def test_fig8_frequencies_in_range(self):
+        freqs = fig8_mfp_frequency(scale=SCALE)
+        assert set(freqs) == set(benchmark_names())
+        assert all(0 < f <= 1 for f in freqs.values())
+
+    def test_fig15_sweep_shape(self):
+        data = fig15_lbe_lookback(lengths=(10, 30), scale=SCALE,
+                                  names=FAST_NAMES)
+        for name in FAST_NAMES:
+            assert set(data[name]) == {10, 30}
+            assert all(v > 0 for v in data[name].values())
+
+    def test_fig16_shape(self):
+        data = fig16_cse_r0_by_merge(scale=SCALE)
+        for name in benchmark_names():
+            row = data[name]
+            assert row["baseline"] <= row["99%"] <= row["100%"]

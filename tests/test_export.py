@@ -1,0 +1,60 @@
+"""Unit tests for the JSON results export layer."""
+
+import pytest
+
+from repro.analysis.export import (
+    FORMAT_VERSION,
+    diff_results,
+    load_results,
+    save_results,
+)
+
+
+class TestDiffResults:
+    def test_identical_no_drift(self):
+        data = {"a": {"x": 1.0, "y": [1, 2]}, "b": "text"}
+        assert diff_results(data, data) == {}
+
+    def test_numeric_within_tolerance(self):
+        a = {"v": 100.0}
+        b = {"v": 101.0}
+        assert diff_results(a, b, rel_tolerance=0.02) == {}
+        assert diff_results(a, b, rel_tolerance=0.005) != {}
+
+    def test_missing_key_detected(self):
+        drifts = diff_results({"a": 1}, {"a": 1, "b": 2})
+        assert any("missing in expected" in v for v in drifts.values())
+        drifts = diff_results({"a": 1, "b": 2}, {"a": 1})
+        assert any("missing in actual" in v for v in drifts.values())
+
+    def test_string_change_detected(self):
+        drifts = diff_results({"s": "x"}, {"s": "y"})
+        assert "results.s" in drifts
+
+    def test_list_length_change_detected(self):
+        drifts = diff_results({"l": [1, 2]}, {"l": [1]})
+        assert "results.l" in drifts
+
+    def test_nested_paths_reported(self):
+        drifts = diff_results({"a": {"b": [{"c": 1.0}]}},
+                              {"a": {"b": [{"c": 9.0}]}})
+        assert "results.a.b[0].c" in drifts
+
+    def test_bool_compared_exactly(self):
+        # bools are ints in Python; ensure they are not tolerance-compared
+        drifts = diff_results({"f": True}, {"f": False})
+        assert drifts
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        data = {"version": FORMAT_VERSION, "x": [1, 2.5, "a"]}
+        path = tmp_path / "results.json"
+        save_results(data, path)
+        assert load_results(path) == data
+
+    def test_version_guard(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results({"version": 99}, path)
+        with pytest.raises(ValueError, match="version"):
+            load_results(path)

@@ -1,0 +1,124 @@
+"""Unit tests for the AP cost model."""
+
+import pytest
+
+from repro.hardware.ap import APConfig
+from repro.hardware.cost import (
+    chunk_overhead_cycles,
+    flow_step_cycles,
+    parallel_cycles,
+    segment_cycles,
+    throughput_symbols_per_sec,
+)
+
+
+class TestAPConfig:
+    def test_defaults_match_paper(self):
+        config = APConfig()
+        assert config.cycle_ns == 7.5
+        assert config.total_half_cores == 16
+        assert config.context_switch_cycles == 3
+        assert config.convergence_check_cycles_per_pair == 1
+
+    def test_frozen(self):
+        config = APConfig()
+        with pytest.raises(Exception):
+            config.cycle_ns = 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cycle_ns": 0},
+            {"total_half_cores": 0},
+            {"symbol_cycles": 0},
+            {"check_interval": 0},
+            {"context_switch_cycles": -1},
+            {"convergence_check_cycles_per_pair": -1},
+            {"reeval_cycles_per_cs": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            APConfig(**kwargs)
+
+    def test_hashable_for_caching(self):
+        assert hash(APConfig()) == hash(APConfig())
+
+
+class TestFlowStepCycles:
+    def test_single_flow_one_cycle(self):
+        assert flow_step_cycles(1, 1, APConfig()) == 1
+
+    def test_multiplexed_flows(self):
+        assert flow_step_cycles(4, 1, APConfig()) == 4
+
+    def test_multiple_cores_divide_load(self):
+        assert flow_step_cycles(4, 2, APConfig()) == 2
+        assert flow_step_cycles(5, 2, APConfig()) == 3  # ceil
+
+    def test_zero_flows_free(self):
+        assert flow_step_cycles(0, 1, APConfig()) == 0
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            flow_step_cycles(2, 0, APConfig())
+
+
+class TestChunkOverhead:
+    def test_single_flow_no_overhead(self):
+        assert chunk_overhead_cycles(1, 1, APConfig(), checks=True) == 0
+
+    def test_switches_and_checks(self):
+        config = APConfig()
+        # 4 flows on 1 core: 3 switches * 3 cycles + 2 pair-checks * 1
+        assert chunk_overhead_cycles(4, 1, config, checks=True) == 11
+
+    def test_checks_disabled(self):
+        assert chunk_overhead_cycles(4, 1, APConfig(), checks=False) == 9
+
+    def test_cores_reduce_switches(self):
+        config = APConfig()
+        # 4 flows on 2 cores: per-core 2 flows -> 1 switch; checks on flows
+        assert chunk_overhead_cycles(4, 2, config, checks=False) == 3
+
+
+class TestSegmentCycles:
+    def test_all_single_flow(self):
+        config = APConfig()
+        assert segment_cycles([1] * 100, 1, config) == 100
+
+    def test_prologue_added(self):
+        config = APConfig()
+        assert segment_cycles([1] * 10, 1, config, prologue_cycles=5) == 15
+
+    def test_overhead_charged_per_chunk(self):
+        config = APConfig(check_interval=10)
+        # 20 symbols at R=2: 40 step cycles + 2 chunks * (3 switch + 1 check)
+        assert segment_cycles([2] * 20, 1, config) == 48
+
+    def test_empty_trace(self):
+        assert segment_cycles([], 1, APConfig()) == 0
+
+
+class TestParallelCycles:
+    def test_max_of_segments(self):
+        assert parallel_cycles([10, 30, 20]) == 30
+
+    def test_serial_tail_added(self):
+        assert parallel_cycles([10, 30], serial_tail=5) == 35
+
+    def test_empty(self):
+        assert parallel_cycles([], serial_tail=7) == 7
+
+
+class TestThroughput:
+    def test_one_symbol_per_cycle(self):
+        config = APConfig(cycle_ns=7.5)
+        # 1 sym/cycle at 7.5ns = 133.3M sym/s
+        assert throughput_symbols_per_sec(1000, 1000, config) == pytest.approx(
+            1 / 7.5e-9
+        )
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_symbols_per_sec(10, 0, APConfig())

@@ -1,0 +1,96 @@
+"""Unit tests for the CSE + lookback hybrid engine."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import cycle_dfa, random_dfa
+from repro.core.hybrid import HybridCseEngine
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.core.profiling import ProfilingConfig
+from repro.regex.compile import compile_ruleset
+
+TEXT = (b"the cat chased a fish while the dog slept in gray hot weather ") * 30
+
+PROFILE = ProfilingConfig(n_inputs=60, input_len=120, symbol_low=97,
+                          symbol_high=122)
+
+
+class TestCorrectness:
+    def test_matches_sequential(self, small_ruleset_dfa):
+        engine = HybridCseEngine(small_ruleset_dfa, lookback=15,
+                                 n_segments=8, profiling=PROFILE)
+        assert engine.run(TEXT).final_state == small_ruleset_dfa.run(TEXT)
+
+    def test_matches_under_divergence(self, rng):
+        dfa = cycle_dfa(6)
+        engine = HybridCseEngine(dfa, lookback=5, n_segments=4,
+                                 partition=StatePartition.trivial(6))
+        word = rng.integers(0, 2, size=100)
+        result = engine.run(word)
+        assert result.final_state == dfa.run(word)
+
+    def test_random_dfas_all_partitions(self, rng):
+        for trial in range(8):
+            local = np.random.default_rng(trial + 400)
+            dfa = random_dfa(10, 3, local)
+            partition = StatePartition.from_labels(
+                local.integers(0, 3, size=10).tolist()
+            )
+            engine = HybridCseEngine(dfa, lookback=int(local.integers(0, 10)),
+                                     n_segments=4, partition=partition)
+            word = local.integers(0, 3, size=160)
+            assert engine.run(word).final_state == dfa.run(word), trial
+
+    def test_zero_lookback_equals_cse(self, small_ruleset_dfa, rng):
+        """L = 0 means no pruning: identical flow behaviour to plain CSE."""
+        partition = StatePartition.trivial(small_ruleset_dfa.num_states)
+        hybrid = HybridCseEngine(small_ruleset_dfa, lookback=0,
+                                 n_segments=4, partition=partition)
+        plain = CseEngine(small_ruleset_dfa, n_segments=4,
+                          partition=partition)
+        word = rng.integers(97, 123, size=800)
+        h, p = hybrid.run(word), plain.run(word)
+        assert h.final_state == p.final_state
+        assert h.r0_mean == p.r0_mean
+
+    def test_rejects_negative_lookback(self, small_ruleset_dfa):
+        with pytest.raises(ValueError):
+            HybridCseEngine(small_ruleset_dfa, lookback=-1,
+                            partition=StatePartition.trivial(
+                                small_ruleset_dfa.num_states))
+
+
+class TestPruning:
+    def _multi_set_dfa(self):
+        """An FSM whose predicted partition has several blocks."""
+        return compile_ruleset(["^(..)*abc", "^(...)*xy"])
+
+    def test_pruning_reduces_flows(self, rng):
+        dfa = self._multi_set_dfa()
+        # discrete partition: every state its own set -> max pruning room
+        partition = StatePartition.discrete(dfa.num_states)
+        word = rng.integers(97, 123, size=1600)
+        hybrid = HybridCseEngine(dfa, lookback=20, n_segments=8,
+                                 partition=partition)
+        plain = CseEngine(dfa, n_segments=8, partition=partition)
+        h, p = hybrid.run(word), plain.run(word)
+        assert h.final_state == p.final_state
+        assert h.r0_mean <= p.r0_mean
+        assert h.details["pruned_sets"] > 0
+
+    def test_pruned_sets_counted(self, small_ruleset_dfa, rng):
+        partition = StatePartition.discrete(small_ruleset_dfa.num_states)
+        engine = HybridCseEngine(small_ruleset_dfa, lookback=30,
+                                 n_segments=4, partition=partition)
+        word = rng.integers(97, 123, size=800)
+        result = engine.run(word)
+        assert result.details["pruned_sets"] >= 0
+        assert result.details["lookback"] == 30
+
+    def test_report_recovery_still_works(self, small_ruleset_dfa, rng):
+        engine = HybridCseEngine(small_ruleset_dfa, lookback=15,
+                                 n_segments=4, profiling=PROFILE)
+        word = rng.integers(97, 123, size=600)
+        _, recovered = engine.run_with_reports(word)
+        assert recovered.reports == small_ruleset_dfa.run_reports(word)

@@ -1,0 +1,88 @@
+"""Cross-module integration tests: the full pipeline per benchmark family.
+
+For each of the 13 families: generate rules -> compile -> run every engine
+-> check final states, reports and cost-accounting invariants.  These are
+the closest tests to "the system works end to end" short of the benchmark
+harness itself (which runs at full scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import summarize_runs
+from repro.core.engine import CseEngine
+from repro.core.profiling import ProfilingConfig
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+from repro.engines.sequential import SequentialEngine
+from repro.regex.compile import compile_ruleset
+from repro.workloads.rulesets import FAMILY_GENERATORS, generate_ruleset
+from repro.workloads.traces import becchi_trace, deepening_symbols
+
+FAMILIES = sorted(FAMILY_GENERATORS)
+
+
+@pytest.fixture(scope="module")
+def family_setups():
+    """One compiled FSM + inputs per family (module-scoped: compile once)."""
+    setups = {}
+    for family in FAMILIES:
+        patterns = generate_ruleset(family, 2, seed=11)
+        dfa = compile_ruleset(patterns)
+        rng = np.random.default_rng(99)
+        deepening = deepening_symbols(dfa, 97, 122)
+        words = [
+            becchi_trace(dfa, rng, 600, p_match=0.5, symbol_low=97,
+                         symbol_high=122, deepening=deepening)
+            for _ in range(2)
+        ]
+        setups[family] = (dfa, words)
+    return setups
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestFamilyPipeline:
+    def test_all_engines_agree(self, family, family_setups):
+        dfa, words = family_setups[family]
+        baseline = SequentialEngine(dfa)
+        engines = [
+            EnumerativeEngine(dfa, n_segments=4),
+            LbeEngine(dfa, n_segments=4, lookback=15),
+            PapEngine(dfa, n_segments=4),
+            CseEngine(
+                dfa, n_segments=4,
+                profiling=ProfilingConfig(n_inputs=40, input_len=150,
+                                          symbol_low=97, symbol_high=122),
+            ),
+        ]
+        for word in words:
+            expected = baseline.run(word).final_state
+            for engine in engines:
+                assert engine.run(word).final_state == expected, engine.name
+
+    def test_cse_report_recovery(self, family, family_setups):
+        dfa, words = family_setups[family]
+        engine = CseEngine(
+            dfa, n_segments=4,
+            profiling=ProfilingConfig(n_inputs=30, input_len=150,
+                                      symbol_low=97, symbol_high=122),
+        )
+        result, recovered = engine.run_with_reports(words[0])
+        assert recovered.reports == dfa.run_reports(words[0])
+
+    def test_cost_invariants(self, family, family_setups):
+        dfa, words = family_setups[family]
+        engine = CseEngine(
+            dfa, n_segments=4,
+            profiling=ProfilingConfig(n_inputs=30, input_len=150,
+                                      symbol_low=97, symbol_high=122),
+        )
+        runs = [engine.run(w) for w in words]
+        stats = summarize_runs(runs)
+        for run in runs:
+            assert run.cycles > 0
+            assert run.speedup <= run.ideal_speedup + 1e-9
+            assert sum(s.length for s in run.segments) == run.n_symbols
+            assert run.rt_mean <= run.r0_mean + 1e-9
+        assert stats.throughput > 0

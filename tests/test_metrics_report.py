@@ -1,0 +1,128 @@
+"""Unit tests for metrics aggregation and text report rendering."""
+
+import pytest
+
+from repro.analysis.metrics import EngineStats, reexecution_rate, summarize_runs
+from repro.analysis.report import (
+    render_bars,
+    render_grouped,
+    render_series,
+    render_table,
+)
+from repro.engines.base import RunResult, SegmentTrace
+from repro.hardware.ap import APConfig
+
+
+def make_result(cycles=100, n_symbols=400, segments=4, r0=3, rt=1, reexec=0):
+    traces = [SegmentTrace(0, 100, [1] * 101, 100)]
+    traces += [
+        SegmentTrace(100 * i, 100 * (i + 1), [r0] + [rt] * 100, 100)
+        for i in range(1, segments)
+    ]
+    return RunResult(
+        engine="X",
+        n_symbols=n_symbols,
+        final_state=0,
+        cycles=cycles,
+        config=APConfig(),
+        segments=traces,
+        reexec_segments=reexec,
+    )
+
+
+class TestRunResultProperties:
+    def test_speedup(self):
+        result = make_result(cycles=100, n_symbols=400)
+        assert result.speedup == 4.0
+
+    def test_ideal_speedup(self):
+        assert make_result(segments=4).ideal_speedup == 4.0
+
+    def test_r0_rt_skip_first_segment(self):
+        result = make_result(r0=5, rt=2)
+        assert result.r0_mean == 5.0
+        assert result.rt_mean == 2.0
+
+    def test_single_segment_defaults(self):
+        result = RunResult("X", 10, 0, 10, APConfig(),
+                           [SegmentTrace(0, 10, [1] * 11, 10)])
+        assert result.r0_mean == 1.0
+        assert result.rt_mean == 1.0
+
+    def test_baseline_cycles(self):
+        assert make_result(n_symbols=400).baseline_cycles == 400
+
+    def test_throughput_positive(self):
+        assert make_result().throughput > 0
+
+
+class TestSummarize:
+    def test_averages(self):
+        runs = [make_result(cycles=100), make_result(cycles=200)]
+        stats = summarize_runs(runs)
+        assert stats.n_runs == 2
+        assert stats.speedup == pytest.approx((4.0 + 2.0) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_reexecution_rate(self):
+        runs = [make_result(segments=4, reexec=0), make_result(segments=4, reexec=3)]
+        # 6 enumerative segments total, 3 re-executed
+        assert reexecution_rate(runs) == 0.5
+
+    def test_reexecution_rate_empty(self):
+        assert reexecution_rate([]) == 0.0
+
+    def test_str_contains_key_numbers(self):
+        stats = summarize_runs([make_result()])
+        text = str(stats)
+        assert "speedup" in text and "R0" in text
+
+
+class TestRender:
+    def test_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = render_table([{"v": 0.00123}])
+        assert "0.0012" in out
+
+    def test_series(self):
+        out = render_series({"x": 1.5}, name="speedup")
+        assert "speedup" in out and "1.50" in out
+
+    def test_grouped(self):
+        data = {"B1": {"LBE": 1.0, "CSE": 2.0}}
+        out = render_grouped(data, columns=["LBE", "CSE"])
+        assert "B1" in out and "LBE" in out
+
+    def test_bars_proportional(self):
+        out = render_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bars_empty(self):
+        assert render_bars({}) == "(no data)"
+
+    def test_bars_zero_values(self):
+        out = render_bars({"a": 0.0})
+        assert "#" not in out
+
+    def test_bars_fixed_max(self):
+        out = render_bars({"a": 1.0}, width=10, max_value=2.0)
+        assert out.count("#") == 5

@@ -1,0 +1,81 @@
+"""Unit tests for the analytic performance model."""
+
+import pytest
+
+from repro.analysis.model import SegmentModel, predict_segment_cycles, predict_speedup
+from repro.hardware.ap import APConfig
+
+
+class TestSegmentModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentModel(r0=0, t_stabilize=5)
+        with pytest.raises(ValueError):
+            SegmentModel(r0=2, t_stabilize=-1)
+
+    def test_instant_convergence_is_sequential_cost(self):
+        model = SegmentModel(r0=1, t_stabilize=0, r_floor=1)
+        cycles = predict_segment_cycles(model, 100)
+        assert cycles == 100
+
+    def test_permanent_floor_multiplies_cost(self):
+        model = SegmentModel(r0=3, t_stabilize=0, r_floor=3)
+        cycles = predict_segment_cycles(model, 100)
+        assert cycles >= 300  # 3 flows forever
+
+    def test_ramp_charged(self):
+        fast = SegmentModel(r0=4, t_stabilize=10, r_floor=1)
+        slow = SegmentModel(r0=4, t_stabilize=80, r_floor=1)
+        assert (
+            predict_segment_cycles(slow, 100)
+            > predict_segment_cycles(fast, 100)
+        )
+
+    def test_cores_divide_load(self):
+        model = SegmentModel(r0=4, t_stabilize=100, r_floor=4)
+        one = predict_segment_cycles(model, 100, cores=1)
+        two = predict_segment_cycles(model, 100, cores=2)
+        assert two < one
+
+    def test_stabilization_clipped_to_segment(self):
+        model = SegmentModel(r0=4, t_stabilize=10_000, r_floor=1)
+        cycles = predict_segment_cycles(model, 100)
+        # never charges beyond the segment itself
+        assert cycles <= 100 * 4 + 100  # flows + overhead headroom
+
+
+class TestPredictSpeedup:
+    def test_ideal_case(self):
+        model = SegmentModel(r0=1, t_stabilize=0, r_floor=1)
+        speedup = predict_speedup(model, input_len=1600, n_segments=16)
+        assert speedup == pytest.approx(16.0)
+
+    def test_floor_bounds_speedup(self):
+        model = SegmentModel(r0=3, t_stabilize=0, r_floor=3)
+        speedup = predict_speedup(model, input_len=1600, n_segments=16)
+        assert speedup <= 16 / 3 + 1
+
+    def test_reexec_penalty(self):
+        model = SegmentModel(r0=1, t_stabilize=0, r_floor=1)
+        clean = predict_speedup(model, 1600, 16, reexec_rate=0.0)
+        dirty = predict_speedup(model, 1600, 16, reexec_rate=0.2)
+        assert dirty < clean
+
+    def test_more_segments_help_when_convergent(self):
+        model = SegmentModel(r0=2, t_stabilize=20, r_floor=1)
+        few = predict_speedup(model, 3200, 4)
+        many = predict_speedup(model, 3200, 16)
+        assert many > few
+
+    def test_invalid_segments(self):
+        model = SegmentModel(r0=1, t_stabilize=0)
+        with pytest.raises(ValueError):
+            predict_speedup(model, 100, 0)
+
+    def test_custom_config_respected(self):
+        model = SegmentModel(r0=4, t_stabilize=50, r_floor=2)
+        cheap = predict_speedup(model, 1600, 8,
+                                config=APConfig(context_switch_cycles=0))
+        pricey = predict_speedup(model, 1600, 8,
+                                 config=APConfig(context_switch_cycles=30))
+        assert cheap >= pricey

@@ -1,0 +1,125 @@
+"""Unit tests for the sparse NFA."""
+
+import pytest
+
+from repro.automata.nfa import EPSILON, Nfa
+
+
+def build_ab_or_ac():
+    """NFA for 'ab' | 'ac' with an epsilon fork."""
+    nfa = Nfa(256)
+    s = [nfa.add_state() for _ in range(6)]
+    nfa.set_start(s[0])
+    nfa.add_transition(s[0], EPSILON, s[1])
+    nfa.add_transition(s[0], EPSILON, s[3])
+    nfa.add_transition(s[1], ord("a"), s[2])
+    nfa.add_transition(s[2], ord("b"), s[5])
+    nfa.add_transition(s[3], ord("a"), s[4])
+    nfa.add_transition(s[4], ord("c"), s[5])
+    nfa.add_accepting(s[5])
+    return nfa
+
+
+class TestConstruction:
+    def test_add_state_returns_sequential_ids(self):
+        nfa = Nfa(4)
+        assert [nfa.add_state() for _ in range(3)] == [0, 1, 2]
+
+    def test_rejects_bad_symbol(self):
+        nfa = Nfa(4)
+        q = nfa.add_state()
+        with pytest.raises(ValueError):
+            nfa.add_transition(q, 4, q)
+
+    def test_epsilon_symbol_allowed(self):
+        nfa = Nfa(4)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_transition(a, EPSILON, b)
+        assert b in nfa.epsilon_closure([a])
+
+    def test_rejects_bad_state(self):
+        nfa = Nfa(4)
+        nfa.add_state()
+        with pytest.raises(ValueError):
+            nfa.add_transition(0, 0, 5)
+
+    def test_rejects_zero_alphabet(self):
+        with pytest.raises(ValueError):
+            Nfa(0)
+
+    def test_add_symbols_transition(self):
+        nfa = Nfa(8)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_symbols_transition(a, [1, 3, 5], b)
+        assert nfa.transitions[a] == {1: {b}, 3: {b}, 5: {b}}
+
+
+class TestExecution:
+    def test_epsilon_closure_transitive(self):
+        nfa = Nfa(2)
+        a, b, c = (nfa.add_state() for _ in range(3))
+        nfa.add_transition(a, EPSILON, b)
+        nfa.add_transition(b, EPSILON, c)
+        assert nfa.epsilon_closure([a]) == {a, b, c}
+
+    def test_epsilon_closure_cycle_terminates(self):
+        nfa = Nfa(2)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_transition(a, EPSILON, b)
+        nfa.add_transition(b, EPSILON, a)
+        assert nfa.epsilon_closure([a]) == {a, b}
+
+    def test_accepts_alternation(self):
+        nfa = build_ab_or_ac()
+        assert nfa.accepts(b"ab")
+        assert nfa.accepts(b"ac")
+        assert not nfa.accepts(b"ad")
+        assert not nfa.accepts(b"a")
+        assert not nfa.accepts(b"abc")
+
+    def test_run_tracks_active_set(self):
+        nfa = build_ab_or_ac()
+        active = nfa.run(b"a")
+        assert len(active) == 2  # both branches armed
+
+    def test_run_without_start_raises(self):
+        nfa = Nfa(2)
+        nfa.add_state()
+        with pytest.raises(RuntimeError):
+            nfa.run([0])
+
+
+class TestUnion:
+    def test_union_accepts_either(self):
+        u = Nfa.union([build_ab_or_ac(), build_ab_or_ac()])
+        assert u.accepts(b"ab")
+        assert not u.accepts(b"zz")
+
+    def test_union_disjoint_patterns(self):
+        n1 = Nfa(256)
+        a, b = n1.add_state(), n1.add_state()
+        n1.set_start(a)
+        n1.add_transition(a, ord("x"), b)
+        n1.add_accepting(b)
+        n2 = Nfa(256)
+        c, d = n2.add_state(), n2.add_state()
+        n2.set_start(c)
+        n2.add_transition(c, ord("y"), d)
+        n2.add_accepting(d)
+        u = Nfa.union([n1, n2])
+        assert u.accepts(b"x")
+        assert u.accepts(b"y")
+        assert not u.accepts(b"z")
+
+    def test_union_alphabet_mismatch(self):
+        with pytest.raises(ValueError):
+            Nfa.union([Nfa(2), Nfa(4)])
+
+    def test_union_empty_list(self):
+        with pytest.raises(ValueError):
+            Nfa.union([])
+
+    def test_union_preserves_state_count(self):
+        n = build_ab_or_ac()
+        u = Nfa.union([n, n])
+        assert u.num_states == 1 + 2 * n.num_states

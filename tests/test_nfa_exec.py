@@ -1,0 +1,101 @@
+"""Unit tests for the compiled (vectorized) NFA executor."""
+
+import numpy as np
+import pytest
+
+from repro.automata.nfa import EPSILON, Nfa
+from repro.automata.nfa_exec import CompiledNfa
+from repro.automata.subset import determinize
+from repro.regex.compile import pattern_to_nfa
+
+
+def random_nfa(rng, n_states=10, alphabet=3, n_edges=20, n_eps=3):
+    nfa = Nfa(alphabet)
+    for _ in range(n_states):
+        nfa.add_state()
+    nfa.set_start(0)
+    for _ in range(n_edges):
+        nfa.add_transition(int(rng.integers(n_states)),
+                           int(rng.integers(alphabet)),
+                           int(rng.integers(n_states)))
+    for _ in range(n_eps):
+        nfa.add_transition(int(rng.integers(n_states)), EPSILON,
+                           int(rng.integers(n_states)))
+    nfa.add_accepting(int(rng.integers(n_states)))
+    return nfa
+
+
+class TestAgainstReferenceNfa:
+    def test_acceptance_agrees_random(self, rng):
+        for trial in range(10):
+            nfa = random_nfa(np.random.default_rng(trial))
+            compiled = CompiledNfa(nfa)
+            for _ in range(20):
+                word = rng.integers(0, 3, size=int(rng.integers(0, 15))).tolist()
+                assert compiled.accepts(word) == nfa.accepts(word), (trial, word)
+
+    def test_active_set_agrees_random(self, rng):
+        for trial in range(5):
+            nfa = random_nfa(np.random.default_rng(trial + 30))
+            compiled = CompiledNfa(nfa)
+            word = rng.integers(0, 3, size=12).tolist()
+            reference = nfa.run(word)
+            mask = compiled.run(word)
+            assert set(np.flatnonzero(mask).tolist()) == set(reference)
+
+    def test_agrees_with_determinized_dfa(self, rng):
+        for trial in range(5):
+            nfa = random_nfa(np.random.default_rng(trial + 60))
+            compiled = CompiledNfa(nfa)
+            dfa = determinize(nfa)
+            for _ in range(20):
+                word = rng.integers(0, 3, size=int(rng.integers(0, 12))).tolist()
+                assert compiled.accepts(word) == dfa.accepts(word)
+
+
+class TestNfaDynamics:
+    def test_r_can_grow(self):
+        """The NFA-specific behaviour the paper notes: R is not monotone."""
+        nfa = Nfa(2)
+        s = [nfa.add_state() for _ in range(4)]
+        nfa.set_start(s[0])
+        # state 0 fans out to 1, 2, 3 on symbol 0
+        for t in (1, 2, 3):
+            nfa.add_transition(s[0], 0, s[t])
+        nfa.add_accepting(s[3])
+        compiled = CompiledNfa(nfa)
+        counts = compiled.active_count_trace([0])
+        assert counts[0] == 3  # grew from 1 active to 3
+
+    def test_r_trends_down_on_scan_nfa(self, rng):
+        """For a scan-style pattern NFA, R stabilizes over long input."""
+        nfa = pattern_to_nfa("abc", alphabet_size=128, mode="search")
+        compiled = CompiledNfa(nfa)
+        word = rng.integers(97, 123, size=400)
+        counts = compiled.active_count_trace(word)
+        # the self-looping prefix keeps the start active; the tail stays
+        # bounded by the pattern length
+        assert max(counts[50:]) <= 4
+        assert all(c >= 1 for c in counts)
+
+    def test_reports_match_dfa_offsets(self, rng):
+        nfa = pattern_to_nfa("ab", alphabet_size=128, mode="search")
+        compiled = CompiledNfa(nfa)
+        dfa = determinize(nfa)
+        word = b"xxabyyabz"
+        nfa_offsets = sorted({off for off, _ in compiled.run_reports(word)})
+        dfa_offsets = sorted({off for off, _ in dfa.run_reports(word)})
+        assert nfa_offsets == dfa_offsets
+
+
+class TestValidation:
+    def test_requires_start(self):
+        nfa = Nfa(2)
+        nfa.add_state()
+        with pytest.raises(ValueError):
+            CompiledNfa(nfa)
+
+    def test_empty_input(self):
+        nfa = pattern_to_nfa("a?", alphabet_size=128, mode="fullmatch")
+        compiled = CompiledNfa(nfa)
+        assert compiled.accepts([])  # epsilon closure reaches accept

@@ -1,0 +1,79 @@
+"""Unit tests for the one-hot active-mask automata (both backends)."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import random_dfa
+from repro.automata.onehot import OneHotAutomaton, PySetAutomaton
+
+
+class TestOneHotAutomaton:
+    def test_mask_roundtrip(self, mod3_dfa):
+        machine = OneHotAutomaton(mod3_dfa)
+        mask = machine.mask_from_states([0, 2])
+        assert machine.states_from_mask(mask).tolist() == [0, 2]
+
+    def test_empty_mask(self, mod3_dfa):
+        machine = OneHotAutomaton(mod3_dfa)
+        mask = machine.mask_from_states([])
+        assert not mask.any()
+        stepped = machine.step_mask(mask, 0)
+        assert not stepped.any()
+
+    def test_step_mask_single_state_matches_dfa(self, mod3_dfa):
+        machine = OneHotAutomaton(mod3_dfa)
+        for q in range(3):
+            for c in range(2):
+                mask = machine.mask_from_states([q])
+                stepped = machine.step_mask(mask, c)
+                assert machine.states_from_mask(stepped).tolist() == [
+                    mod3_dfa.step(q, c)
+                ]
+
+    def test_step_mask_set_is_union(self, mod3_dfa):
+        machine = OneHotAutomaton(mod3_dfa)
+        mask = machine.mask_from_states([0, 1])
+        stepped = machine.step_mask(mask, 1)
+        want = sorted({mod3_dfa.step(0, 1), mod3_dfa.step(1, 1)})
+        assert machine.states_from_mask(stepped).tolist() == want
+
+    def test_run_mask_records_sizes(self, ab_matcher):
+        machine = OneHotAutomaton(ab_matcher)
+        mask = machine.mask_from_states(range(ab_matcher.num_states))
+        final, sizes = machine.run_mask(mask, b"abab", record_sizes=True)
+        assert len(sizes) == 4
+        assert all(s >= 1 for s in sizes)
+        assert final.any()
+
+
+class TestBackendsAgree:
+    def test_numpy_vs_pure_python(self, rng):
+        """The two backends must produce identical set evolutions."""
+        for _ in range(5):
+            dfa = random_dfa(10, 4, rng)
+            np_machine = OneHotAutomaton(dfa)
+            py_machine = PySetAutomaton(dfa)
+            states = rng.choice(10, size=4, replace=False).tolist()
+            word = rng.integers(0, 4, size=30)
+            mask = np_machine.mask_from_states(states)
+            np_final, np_sizes = np_machine.run_mask(mask, word, record_sizes=True)
+            py_final, py_sizes = py_machine.run_set(states, word, record_sizes=True)
+            assert sorted(py_final) == np_machine.states_from_mask(np_final).tolist()
+            assert np_sizes == py_sizes
+
+    def test_pure_python_single_step(self, mod3_dfa):
+        machine = PySetAutomaton(mod3_dfa)
+        assert machine.step_set(frozenset([0, 1]), 0) == frozenset(
+            {mod3_dfa.step(0, 0), mod3_dfa.step(1, 0)}
+        )
+
+    def test_convergence_shrinks_both(self, rng):
+        dfa = random_dfa(16, 2, rng)
+        np_machine = OneHotAutomaton(dfa)
+        py_machine = PySetAutomaton(dfa)
+        word = rng.integers(0, 2, size=50)
+        mask = np_machine.mask_from_states(range(16))
+        _, np_sizes = np_machine.run_mask(mask, word, record_sizes=True)
+        _, py_sizes = py_machine.run_set(range(16), word, record_sizes=True)
+        assert np_sizes == py_sizes
+        assert np_sizes[-1] <= np_sizes[0]

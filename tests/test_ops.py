@@ -1,0 +1,125 @@
+"""Unit tests for DFA language operations."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import random_dfa
+from repro.automata.minimize import minimize
+from repro.automata.ops import (
+    complement,
+    difference,
+    distinguishing_word,
+    equivalent,
+    find_accepted_word,
+    intersect,
+    is_empty,
+    union,
+)
+from repro.regex.compile import compile_pattern
+
+
+def pat(p):
+    return compile_pattern(p, alphabet_size=4, mode="fullmatch")
+
+
+# tiny alphabet 0..3 mapped onto chars for regexes
+A, B, C, D = "\x00", "\x01", "\x02", "\x03"
+
+
+class TestComplement:
+    def test_flips_acceptance(self, mod3_dfa):
+        comp = complement(mod3_dfa)
+        for word in ([], [0], [1, 1, 0], [1, 0, 1]):
+            assert comp.accepts(word) != mod3_dfa.accepts(word)
+
+    def test_double_complement_identity(self, mod3_dfa):
+        assert equivalent(complement(complement(mod3_dfa)), mod3_dfa)
+
+
+class TestProducts:
+    def test_intersection_semantics(self, rng):
+        a = pat(f"{A}*")
+        b = pat(f".{{2}}")  # exactly two symbols
+        both = intersect(a, b)
+        assert both.accepts([0, 0])
+        assert not both.accepts([0])
+        assert not both.accepts([0, 1])
+
+    def test_union_semantics(self):
+        a = pat(A)
+        b = pat(B)
+        either = union(a, b)
+        assert either.accepts([0])
+        assert either.accepts([1])
+        assert not either.accepts([2])
+
+    def test_difference_semantics(self):
+        any2 = pat("..")
+        not_ab = difference(any2, pat(A + B))
+        assert not_ab.accepts([0, 0])
+        assert not not_ab.accepts([0, 1])
+
+    def test_alphabet_mismatch(self, mod3_dfa):
+        other = pat(A)  # alphabet 4 vs mod3's alphabet 2
+        with pytest.raises(ValueError):
+            intersect(mod3_dfa, other)
+
+    def test_demorgan(self, rng):
+        """~(L1 u L2) == ~L1 n ~L2 on random machines."""
+        for trial in range(5):
+            local = np.random.default_rng(trial)
+            d1 = random_dfa(6, 3, local, accepting_fraction=0.4)
+            d2 = random_dfa(6, 3, local, accepting_fraction=0.4)
+            lhs = complement(union(d1, d2))
+            rhs = intersect(complement(d1), complement(d2))
+            assert equivalent(lhs, rhs)
+
+
+class TestEmptiness:
+    def test_empty_language(self):
+        never = difference(pat(A), pat(A))
+        assert is_empty(never)
+        assert find_accepted_word(never) is None
+
+    def test_witness_is_shortest(self):
+        dfa = pat(A + B + C)
+        word = find_accepted_word(dfa)
+        assert word == [0, 1, 2]
+
+    def test_epsilon_witness(self):
+        dfa = pat(f"{A}*")
+        assert find_accepted_word(dfa) == []
+
+    def test_witness_accepted(self, rng):
+        for trial in range(10):
+            local = np.random.default_rng(trial + 7)
+            dfa = random_dfa(8, 3, local, accepting_fraction=0.2)
+            word = find_accepted_word(dfa)
+            if word is not None:
+                assert dfa.accepts(word)
+
+
+class TestEquivalence:
+    def test_minimization_preserves_language(self, rng):
+        """The strong oracle: minimize() output is language-equal."""
+        for trial in range(8):
+            local = np.random.default_rng(trial + 20)
+            dfa = random_dfa(12, 3, local, accepting_fraction=0.3)
+            assert equivalent(dfa, minimize(dfa)), trial
+
+    def test_distinguishing_word_found(self):
+        a = pat(A)
+        b = pat(B)
+        word = distinguishing_word(a, b)
+        assert word is not None
+        assert a.accepts(word) != b.accepts(word)
+
+    def test_equivalent_to_self(self, mod3_dfa):
+        assert equivalent(mod3_dfa, mod3_dfa)
+
+    def test_regex_equivalences(self):
+        assert equivalent(pat(f"({A}|{B})*"), pat(f"({B}*{A}*)*"))
+        assert not equivalent(pat(f"{A}+"), pat(f"{A}*"))
+
+    def test_renumbered_is_equivalent(self, mod3_dfa):
+        assert equivalent(mod3_dfa, mod3_dfa.renumbered([2, 0, 1]))

@@ -1,0 +1,151 @@
+"""Unit tests for state partitions and the Figure-10 refinement algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import StatePartition
+
+
+def P(blocks, n):
+    return StatePartition(blocks, n)
+
+
+class TestConstruction:
+    def test_canonical_order_by_min(self):
+        p = P([[3, 4], [0, 1, 2]], 5)
+        assert p.blocks[0] == frozenset([0, 1, 2])
+        assert p.blocks[1] == frozenset([3, 4])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            P([[0, 1], [1, 2]], 3)
+
+    def test_rejects_missing_states(self):
+        with pytest.raises(ValueError, match="cover"):
+            P([[0, 1]], 3)
+
+    def test_drops_empty_blocks(self):
+        p = P([[0, 1], []], 2)
+        assert p.num_blocks == 1
+
+    def test_trivial_and_discrete(self):
+        assert StatePartition.trivial(4).num_blocks == 1
+        assert StatePartition.discrete(4).num_blocks == 4
+
+    def test_equality_and_hash_canonical(self):
+        p1 = P([[0, 1], [2]], 3)
+        p2 = P([[2], [1, 0]], 3)
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_from_final_states(self):
+        finals = np.array([5, 5, 7, 5])
+        p = StatePartition.from_final_states(finals)
+        assert p.blocks == (frozenset([0, 1, 3]), frozenset([2]))
+
+    def test_from_labels(self):
+        p = StatePartition.from_labels([1, 0, 1, 0])
+        assert p.blocks == (frozenset([0, 2]), frozenset([1, 3]))
+
+    def test_block_of(self):
+        p = P([[0, 2], [1]], 3)
+        assert p.block_of(0) == p.block_of(2) == 0
+        assert p.block_of(1) == 1
+
+    def test_labels_roundtrip(self):
+        p = P([[0, 2], [1]], 3)
+        assert StatePartition.from_labels(p.labels()) == p
+
+    def test_block_arrays_sorted(self):
+        p = P([[2, 0], [1]], 3)
+        assert p.block_arrays()[0].tolist() == [0, 2]
+
+
+class TestRefine:
+    def test_figure9_example(self):
+        """The paper's Figure 9: merging A, B, C yields 4 subsets."""
+        n = 4  # states 1..4 in the paper; 0..3 here
+        a = P([[0, 1], [2, 3]], n)
+        b = P([[0, 2], [1, 3]], n)
+        merged = a.refine(b)
+        assert merged.num_blocks == 4  # all singletons
+
+    def test_refine_is_commutative(self):
+        p1 = P([[0, 1, 2], [3, 4]], 5)
+        p2 = P([[0, 1], [2, 3], [4]], 5)
+        assert p1.refine(p2) == p2.refine(p1)
+
+    def test_refine_is_idempotent(self):
+        p = P([[0, 1], [2]], 3)
+        assert p.refine(p) == p
+
+    def test_refine_with_trivial_is_identity(self):
+        p = P([[0, 1], [2]], 3)
+        assert p.refine(StatePartition.trivial(3)) == p
+
+    def test_refine_with_discrete_is_discrete(self):
+        p = P([[0, 1], [2]], 3)
+        assert p.refine(StatePartition.discrete(3)) == StatePartition.discrete(3)
+
+    def test_result_refines_both_inputs(self):
+        p1 = P([[0, 1, 2, 3], [4, 5]], 6)
+        p2 = P([[0, 1], [2, 3, 4], [5]], 6)
+        merged = p1.refine(p2)
+        assert merged.refines(p1)
+        assert merged.refines(p2)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            P([[0]], 1).refine(P([[0], [1]], 2))
+
+
+class TestRefines:
+    def test_discrete_refines_everything(self):
+        p = P([[0, 1], [2]], 3)
+        assert StatePartition.discrete(3).refines(p)
+
+    def test_everything_refines_trivial(self):
+        p = P([[0, 1], [2]], 3)
+        assert p.refines(StatePartition.trivial(3))
+
+    def test_not_refines_cross_block(self):
+        p1 = P([[0, 1], [2, 3]], 4)
+        p2 = P([[0, 2], [1, 3]], 4)
+        assert not p1.refines(p2)
+        assert not p2.refines(p1)
+
+    def test_refines_is_reflexive(self):
+        p = P([[0, 1], [2]], 3)
+        assert p.refines(p)
+
+
+class TestConvergesOn:
+    def test_converges_when_blocks_collapse(self):
+        finals = np.array([7, 7, 3, 3])
+        p = P([[0, 1], [2, 3]], 4)
+        assert p.converges_on(finals)
+
+    def test_diverges_when_block_splits(self):
+        finals = np.array([7, 3, 3, 3])
+        p = P([[0, 1], [2, 3]], 4)
+        assert not p.converges_on(finals)
+
+    def test_cover_property(self):
+        """If an input converges under P1 or P2 it converges under
+        refine(P1, P2) — the foundation of the merge strategy."""
+        rng = np.random.default_rng(0)
+        n = 8
+        for _ in range(50):
+            labels1 = rng.integers(0, 3, size=n)
+            labels2 = rng.integers(0, 3, size=n)
+            p1 = StatePartition.from_labels(labels1)
+            p2 = StatePartition.from_labels(labels2)
+            merged = p1.refine(p2)
+            finals = rng.integers(0, 4, size=n)
+            if p1.converges_on(finals) or p2.converges_on(finals):
+                assert merged.converges_on(finals)
+
+    def test_induced_partition_always_converges_on_its_input(self):
+        finals = np.array([2, 0, 2, 1])
+        p = StatePartition.from_final_states(finals)
+        assert p.converges_on(finals)

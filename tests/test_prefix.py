@@ -1,0 +1,75 @@
+"""Unit tests for the parallel-prefix engine."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import cycle_dfa, random_dfa
+from repro.engines.prefix import PrefixEngine, compose_mappings
+
+TEXT = (b"the cat chased a fish while the dog slept in gray hot weather ") * 20
+
+
+class TestComposeMappings:
+    def test_identity_neutral(self):
+        identity = np.arange(5, dtype=np.int32)
+        f = np.array([2, 2, 3, 0, 1], dtype=np.int32)
+        assert np.array_equal(compose_mappings(identity, f), f)
+        assert np.array_equal(compose_mappings(f, identity), f)
+
+    def test_order_matters(self):
+        f = np.array([1, 0], dtype=np.int32)
+        g = np.array([0, 0], dtype=np.int32)
+        assert compose_mappings(f, g).tolist() == [0, 0]
+        assert compose_mappings(g, f).tolist() == [1, 1]
+
+    def test_associativity(self, rng):
+        n = 8
+        f, g, h = (rng.integers(0, n, size=n).astype(np.int32) for _ in range(3))
+        left = compose_mappings(compose_mappings(f, g), h)
+        right = compose_mappings(f, compose_mappings(g, h))
+        assert np.array_equal(left, right)
+
+
+class TestPrefixEngine:
+    def test_matches_sequential(self, small_ruleset_dfa):
+        engine = PrefixEngine(small_ruleset_dfa, n_segments=8)
+        assert engine.run(TEXT).final_state == small_ruleset_dfa.run(TEXT)
+
+    def test_matches_on_permutation_dfa(self, rng):
+        dfa = cycle_dfa(6)
+        word = rng.integers(0, 2, size=100)
+        engine = PrefixEngine(dfa, n_segments=4)
+        assert engine.run(word).final_state == dfa.run(word)
+
+    def test_random_dfas(self, rng):
+        for trial in range(8):
+            local = np.random.default_rng(trial + 200)
+            dfa = random_dfa(10, 3, local)
+            word = local.integers(0, 3, size=120)
+            engine = PrefixEngine(dfa, n_segments=5)
+            assert engine.run(word).final_state == dfa.run(word), trial
+
+    def test_composition_rounds_logarithmic(self, small_ruleset_dfa):
+        engine = PrefixEngine(small_ruleset_dfa, n_segments=8)
+        result = engine.run(TEXT)
+        assert result.details["composition_rounds"] == 3  # log2(8)
+        assert PrefixEngine.expected_rounds(8) == 3
+        assert PrefixEngine.expected_rounds(5) == 3
+        assert PrefixEngine.expected_rounds(1) == 0
+
+    def test_composition_cost_charged(self, small_ruleset_dfa):
+        engine = PrefixEngine(small_ruleset_dfa, n_segments=8)
+        result = engine.run(TEXT)
+        assert result.reexec_cycles == result.details["composition_cycles"]
+        assert result.details["composition_cycles"] == (
+            3 * small_ruleset_dfa.num_states
+        )
+
+    def test_explicit_start_state(self, small_ruleset_dfa):
+        engine = PrefixEngine(small_ruleset_dfa, n_segments=4)
+        got = engine.run(TEXT, start_state=2).final_state
+        assert got == small_ruleset_dfa.run(TEXT, state=2)
+
+    def test_single_segment(self, small_ruleset_dfa):
+        engine = PrefixEngine(small_ruleset_dfa, n_segments=1)
+        assert engine.run(TEXT).final_state == small_ruleset_dfa.run(TEXT)

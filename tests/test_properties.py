@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the repository's strongest correctness evidence: every parallel
+engine must equal the sequential oracle on arbitrary machines and inputs,
+and the partition algebra must satisfy the laws the merge strategy relies
+on.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import Dfa
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.core.profiling import ProfilingConfig, predict_convergence_sets
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.lbe import LbeEngine
+from repro.engines.pap import PapEngine
+
+
+@st.composite
+def dfas(draw, max_states=12, max_alphabet=4):
+    n = draw(st.integers(2, max_states))
+    k = draw(st.integers(1, max_alphabet))
+    table = draw(
+        st.lists(
+            st.lists(st.integers(0, n - 1), min_size=n, max_size=n),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    start = draw(st.integers(0, n - 1))
+    accepting = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return Dfa(np.asarray(table, dtype=np.int32), start, accepting)
+
+
+@st.composite
+def dfa_and_word(draw, max_len=120):
+    dfa = draw(dfas())
+    word = draw(
+        st.lists(st.integers(0, dfa.alphabet_size - 1), min_size=0, max_size=max_len)
+    )
+    return dfa, np.asarray(word, dtype=np.int64)
+
+
+@st.composite
+def partitions_for(draw, n):
+    labels = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    return StatePartition.from_labels(labels)
+
+
+class TestEngineEquivalence:
+    @given(dfa_and_word(), st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_enumerative_equals_sequential(self, dw, n_segments):
+        dfa, word = dw
+        engine = EnumerativeEngine(dfa, n_segments=n_segments)
+        assert engine.run(word).final_state == dfa.run(word)
+
+    @given(dfa_and_word(), st.integers(2, 6), st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_lbe_equals_sequential(self, dw, n_segments, lookback):
+        dfa, word = dw
+        engine = LbeEngine(dfa, n_segments=n_segments, lookback=lookback)
+        assert engine.run(word).final_state == dfa.run(word)
+
+    @given(dfa_and_word(), st.integers(2, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_pap_equals_sequential(self, dw, n_segments):
+        dfa, word = dw
+        engine = PapEngine(dfa, n_segments=n_segments)
+        assert engine.run(word).final_state == dfa.run(word)
+
+    @given(dfa_and_word(), st.integers(2, 5), st.data(),
+           st.sampled_from(["basic", "last_concrete", "opportunistic"]))
+    @settings(max_examples=60, deadline=None)
+    def test_cse_equals_sequential(self, dw, n_segments, data, policy):
+        dfa, word = dw
+        partition = data.draw(partitions_for(dfa.num_states))
+        engine = CseEngine(dfa, n_segments=n_segments, partition=partition,
+                           policy=policy)
+        assert engine.run(word).final_state == dfa.run(word)
+
+    @given(dfa_and_word())
+    @settings(max_examples=40, deadline=None)
+    def test_run_all_states_consistent(self, dw):
+        dfa, word = dw
+        finals = dfa.run_all_states(word)
+        for q in range(dfa.num_states):
+            assert finals[q] == dfa.run(word, state=q)
+
+
+class TestSetPrimitiveProperties:
+    @given(dfa_and_word())
+    @settings(max_examples=40, deadline=None)
+    def test_set_size_non_increasing(self, dw):
+        """The convergence property: M <= N at every step."""
+        dfa, word = dw
+        states = np.arange(dfa.num_states, dtype=np.int32)
+        _, sizes = dfa.set_run(states, word, record_sizes=True)
+        previous = dfa.num_states
+        for size in sizes:
+            assert size <= previous
+            previous = size
+
+    @given(dfa_and_word(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_set_run_is_pointwise_image(self, dw, data):
+        dfa, word = dw
+        subset = data.draw(
+            st.sets(st.integers(0, dfa.num_states - 1), min_size=1)
+        )
+        got = dfa.set_run(np.asarray(sorted(subset), dtype=np.int32), word)
+        want = sorted({int(dfa.run(word, state=q)) for q in subset})
+        assert got.tolist() == want
+
+
+class TestPartitionLaws:
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_refine_commutative(self, n, data):
+        p1 = data.draw(partitions_for(n))
+        p2 = data.draw(partitions_for(n))
+        assert p1.refine(p2) == p2.refine(p1)
+
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_refine_associative(self, n, data):
+        p1, p2, p3 = (data.draw(partitions_for(n)) for _ in range(3))
+        assert p1.refine(p2).refine(p3) == p1.refine(p2.refine(p3))
+
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_refinement_covers_inputs(self, n, data):
+        p1 = data.draw(partitions_for(n))
+        p2 = data.draw(partitions_for(n))
+        merged = p1.refine(p2)
+        assert merged.refines(p1) and merged.refines(p2)
+
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_cover_preserves_convergence(self, n, data):
+        """If finals converge under P and Q refines P, Q converges too."""
+        p = data.draw(partitions_for(n))
+        q = data.draw(partitions_for(n))
+        merged = p.refine(q)
+        finals = np.asarray(
+            data.draw(st.lists(st.integers(0, n - 1), min_size=n, max_size=n))
+        )
+        if p.converges_on(finals):
+            assert merged.converges_on(finals)
+
+
+class TestPredictionProperties:
+    @given(dfas(max_states=8, max_alphabet=3), st.sampled_from([0.9, 0.99, 1.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_coverage_meets_cutoff(self, dfa, cutoff):
+        config = ProfilingConfig(n_inputs=30, input_len=30,
+                                 symbol_high=dfa.alphabet_size - 1)
+        result = predict_convergence_sets(dfa, config, cutoff=cutoff)
+        assert result.covered >= min(cutoff, 1.0) or result.covered > 0.99
+        assert 1 <= result.num_convergence_sets <= dfa.num_states

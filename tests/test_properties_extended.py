@@ -1,0 +1,103 @@
+"""Second round of property-based tests: the extension modules.
+
+The first round (test_properties.py) covers the paper-core invariants;
+this file extends the same treatment to recovery, streaming, the prefix
+engine and the software prototype.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import Dfa
+from repro.core.partition import StatePartition
+from repro.core.recovery import recover_reports
+from repro.engines.prefix import PrefixEngine
+from repro.software import software_cse_scan
+from repro.stream import StreamScanner
+
+
+@st.composite
+def dfas(draw, max_states=10, max_alphabet=3):
+    n = draw(st.integers(2, max_states))
+    k = draw(st.integers(1, max_alphabet))
+    table = draw(
+        st.lists(
+            st.lists(st.integers(0, n - 1), min_size=n, max_size=n),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    start = draw(st.integers(0, n - 1))
+    accepting = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return Dfa(np.asarray(table, dtype=np.int32), start, accepting)
+
+
+@st.composite
+def dfa_and_word(draw, max_len=80):
+    dfa = draw(dfas())
+    word = draw(
+        st.lists(st.integers(0, dfa.alphabet_size - 1), min_size=0,
+                 max_size=max_len)
+    )
+    return dfa, np.asarray(word, dtype=np.int64)
+
+
+@st.composite
+def partitions_for(draw, n):
+    labels = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    return StatePartition.from_labels(labels)
+
+
+class TestRecoveryProperties:
+    @given(dfa_and_word(), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_recovery_reports_exact(self, dw, n_segments):
+        dfa, word = dw
+        recovered = recover_reports(dfa, word, n_segments)
+        assert recovered.reports == dfa.run_reports(word)
+        assert recovered.final_state == dfa.run(word)
+
+    @given(dfa_and_word(), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_skip_flag_invariant(self, dw, n_segments):
+        dfa, word = dw
+        with_skip = recover_reports(dfa, word, n_segments, skip_reportless=True)
+        without = recover_reports(dfa, word, n_segments, skip_reportless=False)
+        assert with_skip.reports == without.reports
+
+
+class TestStreamProperties:
+    @given(dfa_and_word(), st.lists(st.integers(1, 20), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_any_chunking_equals_one_shot(self, dw, chunk_sizes):
+        dfa, word = dw
+        scanner = StreamScanner(dfa)
+        pos = 0
+        idx = 0
+        while pos < word.size:
+            size = chunk_sizes[idx % len(chunk_sizes)]
+            scanner.feed(word[pos:pos + size])
+            pos += size
+            idx += 1
+        state, reports = scanner.finish()
+        assert state == dfa.run(word)
+        assert reports == dfa.run_reports(word)
+
+
+class TestPrefixProperties:
+    @given(dfa_and_word(), st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_equals_sequential(self, dw, n_segments):
+        dfa, word = dw
+        engine = PrefixEngine(dfa, n_segments=n_segments)
+        assert engine.run(word).final_state == dfa.run(word)
+
+
+class TestSoftwareProperties:
+    @given(dfa_and_word(max_len=60), st.integers(2, 4), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_software_cse_equals_tight_loop(self, dw, n_segments, data):
+        dfa, word = dw
+        partition = data.draw(partitions_for(dfa.num_states))
+        run = software_cse_scan(dfa, word, partition, n_segments=n_segments)
+        assert run.final_state == dfa.run(word)

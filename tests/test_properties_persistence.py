@@ -1,0 +1,82 @@
+"""Property tests: persistence round-trips never lose information."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import Dfa
+from repro.automata.io import dfa_from_dict, dfa_to_dict
+from repro.core.partition import StatePartition
+from repro.core.store import (
+    census_from_dict,
+    census_to_dict,
+    partition_from_dict,
+    partition_to_dict,
+)
+
+
+@st.composite
+def partitions(draw, max_states=12):
+    n = draw(st.integers(1, max_states))
+    labels = draw(st.lists(st.integers(0, 4), min_size=n, max_size=n))
+    return StatePartition.from_labels(labels)
+
+
+@st.composite
+def dfas(draw, max_states=10, max_alphabet=4):
+    n = draw(st.integers(1, max_states))
+    k = draw(st.integers(1, max_alphabet))
+    table = draw(
+        st.lists(
+            st.lists(st.integers(0, n - 1), min_size=n, max_size=n),
+            min_size=k, max_size=k,
+        )
+    )
+    start = draw(st.integers(0, n - 1))
+    accepting = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return Dfa(np.asarray(table, dtype=np.int32), start, accepting)
+
+
+class TestPartitionRoundtrip:
+    @given(partitions())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_identity(self, partition):
+        assert partition_from_dict(partition_to_dict(partition)) == partition
+
+    @given(partitions())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_block_membership(self, partition):
+        loaded = partition_from_dict(partition_to_dict(partition))
+        for q in range(partition.num_states):
+            assert loaded.block_of(q) == partition.block_of(q)
+
+
+class TestCensusRoundtrip:
+    @given(st.lists(st.tuples(partitions(max_states=5), st.integers(1, 20)),
+                    min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_counts(self, entries):
+        from collections import Counter
+
+        # only combine partitions over the same state count
+        n = entries[0][0].num_states
+        census = Counter()
+        for partition, count in entries:
+            if partition.num_states == n:
+                census[partition] += count
+        if not census:
+            return
+        assert census_from_dict(census_to_dict(census)) == census
+
+
+class TestDfaRoundtrip:
+    @given(dfas())
+    @settings(max_examples=100, deadline=None)
+    def test_dict_roundtrip_identity(self, dfa):
+        assert dfa_from_dict(dfa_to_dict(dfa)) == dfa
+
+    @given(dfas(), st.lists(st.integers(0, 3), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_behaviour(self, dfa, word):
+        word = [w % dfa.alphabet_size for w in word]
+        loaded = dfa_from_dict(dfa_to_dict(dfa))
+        assert loaded.run(word) == dfa.run(word)

@@ -1,0 +1,99 @@
+"""Unit tests for report/path recovery (Section IV-A second pass)."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import cycle_dfa
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.core.profiling import ProfilingConfig
+from repro.core.recovery import recover_reports, segment_start_states
+from repro.regex.compile import compile_ruleset
+
+TEXT = (b"the cat chased a fish while the dog slept in gray hot weather ") * 30
+
+PROFILE = ProfilingConfig(n_inputs=60, input_len=120, symbol_low=97,
+                          symbol_high=122)
+
+
+class TestSegmentStartStates:
+    def test_chain_is_consistent(self, small_ruleset_dfa):
+        states = segment_start_states(small_ruleset_dfa,
+                                      np.frombuffer(TEXT, dtype=np.uint8).astype(np.int64), 4)
+        assert len(states) == 5
+        assert states[0] == small_ruleset_dfa.start
+        assert states[-1] == small_ruleset_dfa.run(TEXT)
+
+    def test_custom_start(self, mod3_dfa):
+        states = segment_start_states(mod3_dfa, np.array([1, 1, 0, 1]), 2,
+                                      start_state=2)
+        assert states[0] == 2
+
+
+class TestRecoverReports:
+    def test_matches_sequential_reports(self, small_ruleset_dfa):
+        recovered = recover_reports(small_ruleset_dfa, TEXT, n_segments=6)
+        assert recovered.reports == small_ruleset_dfa.run_reports(TEXT)
+        assert recovered.final_state == small_ruleset_dfa.run(TEXT)
+
+    def test_no_accepting_skips_everything(self, mod3_dfa):
+        dfa_no_acc = type(mod3_dfa)(mod3_dfa.transitions, 0, [])
+        recovered = recover_reports(dfa_no_acc, np.array([0, 1] * 20), 4)
+        assert recovered.reports == []
+        assert recovered.scanned_segments == []
+
+    def test_skip_flag_does_not_change_reports(self, small_ruleset_dfa):
+        a = recover_reports(small_ruleset_dfa, TEXT, 6, skip_reportless=True)
+        b = recover_reports(small_ruleset_dfa, TEXT, 6, skip_reportless=False)
+        assert a.reports == b.reports
+        assert len(a.scanned_segments) <= len(b.scanned_segments)
+
+    def test_bad_boundary_states_length(self, small_ruleset_dfa):
+        with pytest.raises(ValueError, match="boundary states"):
+            recover_reports(small_ruleset_dfa, TEXT, 4, boundary_states=[0, 1])
+
+    def test_inconsistent_boundary_states_detected(self, small_ruleset_dfa):
+        states = segment_start_states(
+            small_ruleset_dfa,
+            np.frombuffer(TEXT, dtype=np.uint8).astype(np.int64), 4)
+        states[2] = (states[2] + 1) % small_ruleset_dfa.num_states
+        with pytest.raises((AssertionError, ValueError)):
+            recover_reports(small_ruleset_dfa, TEXT, 4,
+                            boundary_states=states)
+
+    def test_recovery_cycles_bounded_by_longest_segment(self, small_ruleset_dfa):
+        recovered = recover_reports(small_ruleset_dfa, TEXT, 8)
+        assert recovered.recovery_cycles <= -(-len(TEXT) // 8) + 1
+
+
+class TestCseRunWithReports:
+    def test_reports_equal_sequential(self, small_ruleset_dfa):
+        engine = CseEngine(small_ruleset_dfa, n_segments=8, profiling=PROFILE)
+        result, recovered = engine.run_with_reports(TEXT)
+        assert result.reports == small_ruleset_dfa.run_reports(TEXT)
+        assert recovered.final_state == result.final_state
+
+    def test_reports_under_divergence(self, rng):
+        """Even when the run re-executes, recovery is exact."""
+        dfa = cycle_dfa(5)
+        engine = CseEngine(dfa, n_segments=4,
+                           partition=StatePartition.trivial(5))
+        word = rng.integers(0, 2, size=80)
+        result, recovered = engine.run_with_reports(word)
+        assert result.final_state == dfa.run(word)
+        assert recovered.reports == dfa.run_reports(word)
+
+    def test_boundary_states_chain(self, small_ruleset_dfa):
+        engine = CseEngine(small_ruleset_dfa, n_segments=8, profiling=PROFILE)
+        _, recovered = engine.run_with_reports(TEXT)
+        oracle = segment_start_states(
+            small_ruleset_dfa,
+            np.frombuffer(TEXT, dtype=np.uint8).astype(np.int64), 8)
+        assert recovered.boundary_states == oracle
+
+    def test_multiple_inputs_reuse_engine(self, small_ruleset_dfa, rng):
+        engine = CseEngine(small_ruleset_dfa, n_segments=4, profiling=PROFILE)
+        for _ in range(3):
+            word = rng.integers(97, 123, size=400)
+            _, recovered = engine.run_with_reports(word)
+            assert recovered.reports == small_ruleset_dfa.run_reports(word)

@@ -1,0 +1,169 @@
+"""Compiler correctness: our DFA vs Python's `re` on the supported subset."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.regex.compile import compile_pattern, compile_ruleset, pattern_to_nfa
+
+
+def assert_fullmatch_agrees(pattern, strings):
+    dfa = compile_pattern(pattern, mode="fullmatch")
+    compiled = re.compile(pattern)
+    for s in strings:
+        got = dfa.accepts(s)
+        want = compiled.fullmatch(s) is not None
+        assert got == want, (pattern, s, got, want)
+
+
+class TestFullmatchSemantics:
+    def test_literal(self):
+        assert_fullmatch_agrees("abc", ["abc", "ab", "abcd", "", "xbc"])
+
+    def test_alternation(self):
+        assert_fullmatch_agrees("ab|cd", ["ab", "cd", "abcd", "a", ""])
+
+    def test_star(self):
+        assert_fullmatch_agrees("a*b", ["b", "ab", "aaab", "ba", ""])
+
+    def test_plus(self):
+        assert_fullmatch_agrees("a+", ["", "a", "aa", "ab"])
+
+    def test_question(self):
+        assert_fullmatch_agrees("colou?r", ["color", "colour", "colouur"])
+
+    def test_counted(self):
+        assert_fullmatch_agrees("a{2,4}", ["a", "aa", "aaa", "aaaa", "aaaaa"])
+
+    def test_counted_exact(self):
+        assert_fullmatch_agrees("(ab){2}", ["abab", "ab", "ababab"])
+
+    def test_counted_open(self):
+        assert_fullmatch_agrees("a{3,}", ["aa", "aaa", "aaaaaa"])
+
+    def test_class_and_range(self):
+        assert_fullmatch_agrees("[a-cx]+", ["abc", "x", "axc", "d", ""])
+
+    def test_negated_class(self):
+        assert_fullmatch_agrees("[^ab]+", ["cd", "ca", "", "xyz"])
+
+    def test_dot(self):
+        assert_fullmatch_agrees("a.c", ["abc", "axc", "ac", "a\nc"])
+
+    def test_nested_groups(self):
+        assert_fullmatch_agrees("(a(b|c))+d", ["abd", "acd", "ababd", "ad", "abacd"])
+
+    def test_digit_escape(self):
+        assert_fullmatch_agrees(r"\d{2}-\d{2}", ["12-34", "1-23", "ab-cd"])
+
+    def test_word_escape(self):
+        assert_fullmatch_agrees(r"\w+", ["abc_123", "a b", ""])
+
+    def test_empty_pattern_matches_empty(self):
+        dfa = compile_pattern("", mode="fullmatch")
+        assert dfa.accepts("")
+        assert not dfa.accepts("a")
+
+    def test_repeat_zero(self):
+        assert_fullmatch_agrees("a{0}b", ["b", "ab"])
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["ab(c|d)*e", "x[0-9]{1,3}y", "(foo|bar|baz)+", "a?b?c?d?", "[a-f]*z{2}"],
+    )
+    def test_random_strings(self, pattern, rng):
+        alphabet = "abcdefxyz0123459"
+        strings = [
+            "".join(
+                alphabet[int(i)]
+                for i in rng.integers(0, len(alphabet), int(rng.integers(0, 10)))
+            )
+            for _ in range(200)
+        ]
+        assert_fullmatch_agrees(pattern, strings)
+
+
+class TestSearchSemantics:
+    def test_reports_match_re_finditer_ends(self):
+        """Scan-DFA reports must be exactly re's match end offsets.
+
+        For patterns without overlapping self-matches, every position where
+        some match *ends* is an accepting offset of the scan DFA.
+        """
+        pattern = "ab+c"
+        dfa = compile_pattern(pattern, mode="search")
+        text = "xxabcyyabbbczzabc"
+        got = {off for off, _ in dfa.run_reports(text)}
+        # ends of all matches (including overlapping prefixes of longer ones)
+        want = set()
+        compiled = re.compile(pattern)
+        for end in range(1, len(text) + 1):
+            for start in range(end):
+                if compiled.fullmatch(text, start, end):
+                    want.add(end - 1)
+                    break
+        assert got == want
+
+    def test_anchored_start_pattern(self):
+        dfa = compile_pattern("^abc", mode="search")
+        assert dfa.matches_anywhere("abcxx")
+        assert not dfa.matches_anywhere("xabc")
+
+    def test_search_finds_anywhere(self):
+        dfa = compile_pattern("needle", mode="search")
+        assert dfa.matches_anywhere("hay needle stack")
+        assert not dfa.matches_anywhere("haystack")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            pattern_to_nfa("a", mode="nonsense")
+
+
+class TestRuleset:
+    def test_reports_union_of_patterns(self):
+        dfa = compile_ruleset(["cat", "dog"])
+        text = "the cat saw a dog"
+        offsets = {off for off, _ in dfa.run_reports(text)}
+        assert offsets == {6, 16}
+
+    def test_accepting_states_not_absorbing(self):
+        dfa = compile_ruleset(["ab"])
+        reports = dfa.run_reports("abxab")
+        assert [off for off, _ in reports] == [1, 4]
+
+    def test_single_pattern_ruleset(self):
+        dfa = compile_ruleset(["xyz"])
+        assert dfa.matches_anywhere("wxyz")
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(ValueError):
+            compile_ruleset([])
+
+    def test_minimize_flag(self):
+        raw = compile_ruleset(["abc", "abd"], minimize=False)
+        small = compile_ruleset(["abc", "abd"], minimize=True)
+        assert small.num_states <= raw.num_states
+
+    def test_ruleset_equals_individual_scan(self, rng):
+        """Multi-pattern DFA reports = union of single-pattern reports."""
+        patterns = ["ab", "bc", "ca+b"]
+        combined = compile_ruleset(patterns)
+        singles = [compile_ruleset([p]) for p in patterns]
+        text = "".join("abc"[int(i)] for i in rng.integers(0, 3, 60))
+        combined_offsets = {off for off, _ in combined.run_reports(text)}
+        single_offsets = set()
+        for dfa in singles:
+            single_offsets.update(off for off, _ in dfa.run_reports(text))
+        assert combined_offsets == single_offsets
+
+
+class TestAlphabetClipping:
+    def test_small_alphabet(self):
+        dfa = compile_pattern("[ab]+", alphabet_size=128, mode="fullmatch")
+        assert dfa.alphabet_size == 128
+        assert dfa.accepts(b"ab")
+
+    def test_class_outside_alphabet_rejected(self):
+        with pytest.raises(ValueError, match="alphabet_size"):
+            compile_pattern("\xff", alphabet_size=128)

@@ -1,0 +1,183 @@
+"""Unit tests for the regex parser."""
+
+import pytest
+
+from repro.regex import charclass as cc
+from repro.regex.ast import Alternate, CharClass, Concat, Empty, Repeat
+from repro.regex.parser import RegexSyntaxError, parse
+
+
+class TestAtoms:
+    def test_single_char(self):
+        node = parse("a").node
+        assert isinstance(node, CharClass)
+        assert node.symbols == frozenset([ord("a")])
+
+    def test_dot_excludes_newline(self):
+        node = parse(".").node
+        assert ord("\n") not in node.symbols
+        assert ord("a") in node.symbols
+
+    def test_concatenation(self):
+        node = parse("ab").node
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 2
+
+    def test_empty_pattern(self):
+        assert isinstance(parse("").node, Empty)
+
+    def test_group(self):
+        assert parse("(ab)").node == parse("ab").node
+
+    def test_non_capturing_group(self):
+        assert parse("(?:ab)").node == parse("ab").node
+
+
+class TestEscapes:
+    def test_digit_class(self):
+        assert parse(r"\d").node.symbols == cc.DIGITS
+
+    def test_negated_word(self):
+        assert parse(r"\W").node.symbols == cc.negate(cc.WORD)
+
+    def test_hex_escape(self):
+        assert parse(r"\x41").node.symbols == frozenset([0x41])
+
+    def test_bad_hex(self):
+        with pytest.raises(RegexSyntaxError):
+            parse(r"\xzz")
+
+    def test_escaped_metachar(self):
+        assert parse(r"\.").node.symbols == frozenset([ord(".")])
+
+    def test_newline_escape(self):
+        assert parse(r"\n").node.symbols == frozenset([10])
+
+    def test_dangling_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("ab\\")
+
+
+class TestQuantifiers:
+    def test_star(self):
+        node = parse("a*").node
+        assert isinstance(node, Repeat)
+        assert (node.low, node.high) == (0, None)
+
+    def test_plus(self):
+        node = parse("a+").node
+        assert (node.low, node.high) == (1, None)
+
+    def test_question(self):
+        node = parse("a?").node
+        assert (node.low, node.high) == (0, 1)
+
+    def test_exact_count(self):
+        node = parse("a{3}").node
+        assert (node.low, node.high) == (3, 3)
+
+    def test_range_count(self):
+        node = parse("a{2,5}").node
+        assert (node.low, node.high) == (2, 5)
+
+    def test_open_count(self):
+        node = parse("a{2,}").node
+        assert (node.low, node.high) == (2, None)
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{5,2}")
+
+    def test_nothing_to_repeat(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("*a")
+
+    def test_double_quantifier_allowed(self):
+        # (a*)* — parsed as nested repeats
+        node = parse("a**").node
+        assert isinstance(node, Repeat)
+        assert isinstance(node.node, Repeat)
+
+
+class TestClasses:
+    def test_simple_class(self):
+        assert parse("[abc]").node.symbols == frozenset(map(ord, "abc"))
+
+    def test_range(self):
+        assert parse("[a-d]").node.symbols == frozenset(map(ord, "abcd"))
+
+    def test_negated(self):
+        symbols = parse("[^a]").node.symbols
+        assert ord("a") not in symbols
+        assert ord("b") in symbols
+
+    def test_literal_dash_at_end(self):
+        assert parse("[a-]").node.symbols == frozenset(map(ord, "a-"))
+
+    def test_literal_bracket_first(self):
+        assert parse("[]a]").node.symbols == frozenset(map(ord, "]a"))
+
+    def test_class_with_escape(self):
+        assert parse(r"[\d]").node.symbols == cc.DIGITS
+
+    def test_class_escape_dash_is_literal(self):
+        # like Python's re, `[\d-z]` is digits plus literal '-' and 'z'
+        symbols = parse(r"[\d-z]").node.symbols
+        assert symbols == cc.DIGITS | frozenset([ord("-"), ord("z")])
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[z-a]")
+
+    def test_unterminated_class(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+
+class TestAlternation:
+    def test_two_options(self):
+        node = parse("a|b").node
+        assert isinstance(node, Alternate)
+        assert len(node.options) == 2
+
+    def test_empty_option(self):
+        node = parse("a|").node
+        assert isinstance(node, Alternate)
+        assert isinstance(node.options[1], Empty)
+
+    def test_precedence_concat_over_alt(self):
+        node = parse("ab|cd").node
+        assert isinstance(node, Alternate)
+        assert all(isinstance(o, Concat) for o in node.options)
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        parsed = parse("^abc")
+        assert parsed.anchored_start and not parsed.anchored_end
+
+    def test_end_anchor(self):
+        parsed = parse("abc$")
+        assert parsed.anchored_end and not parsed.anchored_start
+
+    def test_both_anchors(self):
+        parsed = parse("^abc$")
+        assert parsed.anchored_start and parsed.anchored_end
+
+    def test_escaped_dollar_not_anchor(self):
+        parsed = parse(r"abc\$")
+        assert not parsed.anchored_end
+
+
+class TestErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(ab")
+
+    def test_unexpected_close(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("ab)")
+
+    def test_error_reports_position(self):
+        with pytest.raises(RegexSyntaxError, match="position"):
+            parse("a{x}")

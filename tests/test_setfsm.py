@@ -1,0 +1,104 @@
+"""Unit tests for the set(N)->set(M) primitive."""
+
+import numpy as np
+import pytest
+
+from repro.automata.builders import cycle_dfa, random_dfa
+from repro.core.setfsm import SetFsm
+from repro.regex.compile import compile_ruleset
+
+
+class TestStep:
+    def test_m_never_exceeds_n(self, rng):
+        """The convergence property: set size is non-increasing."""
+        dfa = random_dfa(12, 3, rng)
+        machine = SetFsm(dfa)
+        states = machine.full_set()
+        for sym in rng.integers(0, 3, size=40):
+            nxt = machine.step(states, int(sym))
+            assert nxt.size <= states.size
+            states = nxt
+
+    def test_singleton_step_is_state_to_state(self, mod3_dfa):
+        machine = SetFsm(mod3_dfa)
+        result = machine.step(np.array([1], dtype=np.int32), 0)
+        assert result.tolist() == [mod3_dfa.step(1, 0)]
+
+    def test_m_equal_one_computes_all_paths(self, small_ruleset_dfa, rng):
+        """When M=1, every member provably mapped to the same state."""
+        machine = SetFsm(small_ruleset_dfa)
+        word = rng.integers(97, 123, size=400)
+        final, sizes = machine.run(machine.full_set(), word, record_sizes=True)
+        if final.size == 1:
+            target = int(final[0])
+            for q in range(small_ruleset_dfa.num_states):
+                assert small_ruleset_dfa.run(word, state=q) == target
+
+    def test_permutation_dfa_never_converges(self):
+        dfa = cycle_dfa(5)
+        machine = SetFsm(dfa)
+        final = machine.run(machine.full_set(), [0] * 50)
+        assert final.size == 5
+
+
+class TestRun:
+    def test_record_sizes_length(self, mod3_dfa):
+        machine = SetFsm(mod3_dfa)
+        _, sizes = machine.run(machine.full_set(), [0, 1, 0], record_sizes=True)
+        assert len(sizes) == 3
+
+    def test_make_set_dedups(self, mod3_dfa):
+        machine = SetFsm(mod3_dfa)
+        assert machine.make_set([2, 0, 2, 0]).tolist() == [0, 2]
+
+    def test_converged_predicate(self, mod3_dfa):
+        machine = SetFsm(mod3_dfa)
+        assert machine.converged(np.array([1]))
+        assert not machine.converged(np.array([1, 2]))
+
+    def test_result_is_union_of_individual_runs(self, rng):
+        dfa = random_dfa(10, 4, rng)
+        machine = SetFsm(dfa)
+        word = rng.integers(0, 4, size=25)
+        start = machine.make_set([0, 4, 7])
+        got = machine.run(start, word)
+        want = sorted({int(dfa.run(word, state=int(q))) for q in [0, 4, 7]})
+        assert got.tolist() == want
+
+
+class TestLookback:
+    def test_lookback_contains_true_state(self, small_ruleset_dfa, rng):
+        """The boundary state after any prefix lies in the lookback set."""
+        machine = SetFsm(small_ruleset_dfa)
+        word = rng.integers(97, 123, size=100)
+        suffix = word[-20:]
+        possible = machine.lookback(suffix)
+        # whatever state the machine was in 20 symbols ago, the final
+        # state is in the image of the suffix
+        for q in range(small_ruleset_dfa.num_states):
+            final = small_ruleset_dfa.run(suffix, state=q)
+            assert final in possible.tolist()
+
+    def test_empty_suffix_returns_all(self, mod3_dfa):
+        machine = SetFsm(mod3_dfa)
+        assert machine.lookback([]).tolist() == [0, 1, 2]
+
+
+class TestReports:
+    def test_ambiguity_flag_on_two_accepting(self):
+        # two patterns whose accepting states can be co-active in a set run
+        dfa = compile_ruleset(["aa", "ba"])
+        machine = SetFsm(dfa)
+        # starting from all states, reading 'a' puts both the "after aa"
+        # and "after ba" accepting states in the set
+        final, sizes, ambiguous = machine.run_with_reports(
+            machine.full_set(), b"a"
+        )
+        n_acc = int(np.count_nonzero(dfa.accepting_mask[final]))
+        assert ambiguous == (n_acc > 1)
+
+    def test_no_ambiguity_without_accepting(self, mod3_dfa):
+        machine = SetFsm(mod3_dfa)
+        # accepting state 0 alone can never trigger multi-accept ambiguity
+        _, _, ambiguous = machine.run_with_reports(machine.full_set(), [0, 1])
+        assert not ambiguous

@@ -1,0 +1,98 @@
+"""Unit tests for partition/census persistence."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.partition import StatePartition
+from repro.core.profiling import (
+    MergeResult,
+    ProfilingConfig,
+    merge_to_cutoff,
+    profile_partitions,
+)
+from repro.core import store
+
+
+@pytest.fixture
+def partition():
+    return StatePartition([[0, 2], [1], [3, 4]], 5)
+
+
+class TestPartitionRoundtrip:
+    def test_roundtrip(self, partition, tmp_path):
+        path = tmp_path / "partition.json"
+        store.save_partition(partition, path)
+        assert store.load_partition(path) == partition
+
+    def test_dict_roundtrip(self, partition):
+        assert store.partition_from_dict(store.partition_to_dict(partition)) == partition
+
+    def test_bad_version_rejected(self, partition):
+        data = store.partition_to_dict(partition)
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            store.partition_from_dict(data)
+
+    def test_tampered_blocks_rejected(self, partition):
+        data = store.partition_to_dict(partition)
+        data["blocks"][0] = [0, 1]  # now overlaps block [1]
+        with pytest.raises(ValueError):
+            store.partition_from_dict(data)
+
+
+class TestCensusRoundtrip:
+    def _census(self):
+        return Counter(
+            {
+                StatePartition.trivial(4): 7,
+                StatePartition([[0, 1], [2, 3]], 4): 3,
+            }
+        )
+
+    def test_roundtrip(self, tmp_path):
+        census = self._census()
+        path = tmp_path / "census.json"
+        store.save_census(census, path)
+        assert store.load_census(path) == census
+
+    def test_empty_census_rejected(self):
+        with pytest.raises(ValueError):
+            store.census_to_dict(Counter())
+
+    def test_counts_preserved(self, tmp_path):
+        census = self._census()
+        path = tmp_path / "census.json"
+        store.save_census(census, path)
+        loaded = store.load_census(path)
+        assert sum(loaded.values()) == sum(census.values())
+
+
+class TestMergeResultRoundtrip:
+    def test_roundtrip(self, tmp_path, small_ruleset_dfa):
+        config = ProfilingConfig(n_inputs=20, input_len=40,
+                                 symbol_low=97, symbol_high=122)
+        census = profile_partitions(small_ruleset_dfa, config)
+        result = merge_to_cutoff(census, cutoff=0.99)
+        path = tmp_path / "merge.json"
+        store.save_merge_result(result, path)
+        loaded = store.load_merge_result(path)
+        assert loaded.partition == result.partition
+        assert loaded.covered == pytest.approx(result.covered)
+        assert loaded.merged_count == result.merged_count
+
+    def test_loaded_partition_usable_in_engine(self, tmp_path, small_ruleset_dfa):
+        """The offline workflow: profile, save, load, execute."""
+        from repro.core.engine import CseEngine
+
+        config = ProfilingConfig(n_inputs=20, input_len=40,
+                                 symbol_low=97, symbol_high=122)
+        census = profile_partitions(small_ruleset_dfa, config)
+        result = merge_to_cutoff(census, cutoff=0.99)
+        path = tmp_path / "partition.json"
+        store.save_partition(result.partition, path)
+
+        engine = CseEngine(small_ruleset_dfa, n_segments=4,
+                           partition=store.load_partition(path))
+        text = b"the cat sat on the hot dog " * 20
+        assert engine.run(text).final_state == small_ruleset_dfa.run(text)

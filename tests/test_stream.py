@@ -1,0 +1,129 @@
+"""Unit tests for the streaming and fleet scanning API."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CseEngine
+from repro.core.partition import StatePartition
+from repro.core.profiling import ProfilingConfig
+from repro.regex.compile import compile_ruleset
+from repro.stream import FleetScanner, StreamScanner
+
+TEXT = b"the cat chased a fish while the dog slept in gray hot weather "
+
+
+@pytest.fixture
+def dfa():
+    return compile_ruleset(["cat", "dog", "fish"])
+
+
+class TestStreamScanner:
+    def test_chunked_equals_whole(self, dfa):
+        whole = dfa.run_reports(TEXT * 10)
+        scanner = StreamScanner(dfa)
+        collected = []
+        data = TEXT * 10
+        for i in range(0, len(data), 37):  # awkward chunk size on purpose
+            collected.extend(scanner.feed(data[i:i + 37]))
+        state, log = scanner.finish()
+        assert collected == whole
+        assert log == whole
+        assert state == dfa.run(data)
+
+    def test_single_byte_chunks(self, dfa):
+        scanner = StreamScanner(dfa)
+        data = TEXT
+        for i in range(len(data)):
+            scanner.feed(data[i:i + 1])
+        state, log = scanner.finish()
+        assert log == dfa.run_reports(data)
+        assert state == dfa.run(data)
+
+    def test_empty_chunk_noop(self, dfa):
+        scanner = StreamScanner(dfa)
+        assert scanner.feed(b"") == []
+        assert scanner.offset == 0
+
+    def test_reset_clears_state(self, dfa):
+        scanner = StreamScanner(dfa)
+        scanner.feed(TEXT)
+        scanner.reset()
+        assert scanner.offset == 0
+        assert scanner.reports == []
+        assert scanner.state == dfa.start
+
+    def test_global_offsets(self, dfa):
+        scanner = StreamScanner(dfa)
+        scanner.feed(b"xxxx")
+        reports = scanner.feed(b"cat")
+        assert reports == [(6, reports[0][1])]  # 'cat' ends at offset 6
+
+    def test_parallel_engine_used_for_long_chunks(self, dfa):
+        engine = CseEngine(
+            dfa, n_segments=4,
+            profiling=ProfilingConfig(n_inputs=40, input_len=100,
+                                      symbol_low=97, symbol_high=122),
+        )
+        fast = StreamScanner(dfa, engine=engine, min_parallel_chunk=64)
+        slow = StreamScanner(dfa)
+        data = TEXT * 20
+        fast.feed(data)
+        slow.feed(data)
+        assert fast.finish() == slow.finish()
+        assert fast.cycles < slow.cycles  # the parallel model is cheaper
+
+    def test_short_chunks_charged_sequentially(self, dfa):
+        engine = CseEngine(dfa, n_segments=4,
+                           partition=StatePartition.trivial(dfa.num_states))
+        scanner = StreamScanner(dfa, engine=engine, min_parallel_chunk=10_000)
+        scanner.feed(TEXT)
+        assert scanner.cycles == len(TEXT)
+
+
+class TestFleetScanner:
+    def _fleet(self):
+        dfas = [
+            compile_ruleset(["cat"]),
+            compile_ruleset(["dog"]),
+            compile_ruleset(["fish", "fowl"]),
+        ]
+        return FleetScanner(dfas, n_segments=4)
+
+    def test_reports_per_fsm(self):
+        fleet = self._fleet()
+        result = fleet.scan(TEXT * 5)
+        assert result.n_fsms == 3
+        assert len(result.reports[0]) == 5  # 'cat' x5
+        assert len(result.reports[1]) == 5
+        assert len(result.reports[2]) == 5  # 'fish' x5
+
+    def test_total_reports(self):
+        result = self._fleet().scan(TEXT * 2)
+        assert result.total_reports == 6
+
+    def test_throughput_positive(self):
+        result = self._fleet().scan(TEXT * 5)
+        assert result.throughput > 0
+        assert result.cycles > 0
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            FleetScanner([])
+
+    def test_partition_count_mismatch(self, dfa):
+        with pytest.raises(ValueError):
+            FleetScanner([dfa], partitions=[None, None])
+
+    def test_custom_partitions_used(self, dfa):
+        partition = StatePartition.trivial(dfa.num_states)
+        fleet = FleetScanner([dfa], partitions=[partition], n_segments=4)
+        assert fleet.engines[0].partition is partition
+
+    def test_many_fsms_serialize_in_rounds(self):
+        """More FSMs than half-cores: cycles grow with the round count."""
+        dfas = [compile_ruleset([w]) for w in
+                ["cat", "dog", "fish", "bird", "lion", "bear"]]
+        small_fleet = FleetScanner(dfas[:2], n_segments=2)
+        big_fleet = FleetScanner(dfas, n_segments=2)
+        data = TEXT * 5
+        assert big_fleet.scan(data).cycles >= small_fleet.scan(data).cycles

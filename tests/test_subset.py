@@ -1,0 +1,99 @@
+"""Unit tests for NFA -> DFA subset construction."""
+
+import numpy as np
+import pytest
+
+from repro.automata.nfa import EPSILON, Nfa
+from repro.automata.subset import determinize
+
+
+def nfa_a_or_ab():
+    """'a' | 'ab' — classic nondeterminism on the first symbol."""
+    nfa = Nfa(4)  # symbols: 0='a', 1='b', 2, 3 unused
+    s = [nfa.add_state() for _ in range(5)]
+    nfa.set_start(s[0])
+    nfa.add_transition(s[0], EPSILON, s[1])
+    nfa.add_transition(s[1], 0, s[2])  # 'a' -> accept
+    nfa.add_accepting(s[2])
+    nfa.add_transition(s[0], EPSILON, s[3])
+    nfa.add_transition(s[3], 0, s[4])
+    nfa.add_transition(s[4], 1, s[2])  # 'ab' -> accept
+    return nfa
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        nfa = nfa_a_or_ab()
+        dfa = determinize(nfa)
+        for word in ([], [0], [0, 1], [1], [0, 0], [0, 1, 1]):
+            assert dfa.accepts(word) == nfa.accepts(word), word
+
+    def test_complete_table(self):
+        dfa = determinize(nfa_a_or_ab())
+        assert dfa.transitions.min() >= 0
+        assert dfa.transitions.max() < dfa.num_states
+
+    def test_dead_sink_self_loops(self):
+        dfa = determinize(nfa_a_or_ab())
+        # from start, symbol 2 leads to the dead sink, which must absorb
+        sink = dfa.step(dfa.start, 2)
+        for c in range(dfa.alphabet_size):
+            assert dfa.step(sink, c) == sink
+
+    def test_deterministic_result(self):
+        d1 = determinize(nfa_a_or_ab())
+        d2 = determinize(nfa_a_or_ab())
+        assert d1 == d2
+
+    def test_start_accepting_when_closure_accepts(self):
+        nfa = Nfa(2)
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.set_start(a)
+        nfa.add_transition(a, EPSILON, b)
+        nfa.add_accepting(b)
+        dfa = determinize(nfa)
+        assert dfa.start in dfa.accepting
+
+    def test_max_states_guard(self):
+        nfa = nfa_a_or_ab()
+        with pytest.raises(RuntimeError, match="max_states"):
+            determinize(nfa, max_states=1)
+
+    def test_no_start_raises(self):
+        nfa = Nfa(2)
+        nfa.add_state()
+        with pytest.raises(RuntimeError, match="start"):
+            determinize(nfa)
+
+    def test_random_nfa_equivalence(self, rng):
+        """Random sparse NFAs: DFA must agree on random words."""
+        for trial in range(10):
+            nfa = Nfa(3)
+            n = 8
+            for _ in range(n):
+                nfa.add_state()
+            nfa.set_start(0)
+            for _ in range(16):
+                src = int(rng.integers(n))
+                dst = int(rng.integers(n))
+                sym = int(rng.integers(-1, 3))
+                nfa.add_transition(src, sym if sym >= 0 else EPSILON, dst)
+            nfa.add_accepting(int(rng.integers(n)))
+            dfa = determinize(nfa)
+            for _ in range(20):
+                word = rng.integers(0, 3, size=int(rng.integers(0, 12))).tolist()
+                assert dfa.accepts(word) == nfa.accepts(word), (trial, word)
+
+    def test_self_loop_all_symbols(self):
+        """The .* prefix shape: a self-looping start with one exit."""
+        nfa = Nfa(4)
+        pre, a, acc = nfa.add_state(), nfa.add_state(), nfa.add_state()
+        nfa.set_start(pre)
+        nfa.add_symbols_transition(pre, range(4), pre)
+        nfa.add_transition(pre, EPSILON, a)
+        nfa.add_transition(a, 2, acc)
+        nfa.add_accepting(acc)
+        dfa = determinize(nfa)
+        assert dfa.matches_anywhere([0, 1, 2])
+        assert dfa.matches_anywhere([2])
+        assert not dfa.matches_anywhere([0, 1, 3])

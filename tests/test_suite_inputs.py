@@ -1,0 +1,73 @@
+"""Validation of the suite's evaluation inputs (per input model)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.suite import benchmark_names, get_benchmark, load_benchmark
+
+SCALE = 0.25
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+class TestSuiteInputs:
+    def test_inputs_inside_dfa_alphabet(self, name):
+        instance = load_benchmark(name, SCALE)
+        for unit in instance.units:
+            for string in unit.strings:
+                assert string.min() >= 0
+                assert string.max() < unit.dfa.alphabet_size
+
+    def test_input_lengths_match_spec(self, name):
+        instance = load_benchmark(name, SCALE)
+        for unit in instance.units:
+            assert len(unit.strings) == instance.spec.n_strings
+            for string in unit.strings:
+                assert string.size == instance.spec.input_len
+
+    def test_inputs_deterministic(self, name):
+        from repro.workloads.suite import clear_cache
+
+        first = load_benchmark(name, SCALE)
+        snapshot = [s.copy() for u in first.units for s in u.strings]
+        clear_cache()
+        second = load_benchmark(name, SCALE)
+        again = [s for u in second.units for s in u.strings]
+        for a, b in zip(snapshot, again):
+            assert np.array_equal(a, b)
+
+
+class TestInputModels:
+    def test_brill_inputs_are_text(self):
+        instance = load_benchmark("Brill", SCALE)
+        text = bytes(instance.units[0].strings[0].astype(np.uint8))
+        assert b" " in text  # word-structured
+        assert b"." in text  # sentence delimiters
+
+    def test_snort_inputs_have_packet_boundaries(self):
+        instance = load_benchmark("Snort", SCALE)
+        stream = instance.units[0].strings[0]
+        assert (stream == 0).any()  # NUL packet delimiters
+
+    def test_protomata_inputs_are_amino(self):
+        instance = load_benchmark("Protomata", SCALE)
+        seq = bytes(instance.units[0].strings[0].astype(np.uint8)).decode()
+        assert set(seq) <= set("ACDEFGHIKLMNPQRSTVWY")
+
+    def test_becchi_inputs_respect_symbol_range(self):
+        spec = get_benchmark("ExactMatch")
+        instance = load_benchmark("ExactMatch", SCALE)
+        for unit in instance.units:
+            for string in unit.strings:
+                assert string.min() >= spec.symbol_low
+                assert string.max() <= spec.symbol_high
+
+    def test_unknown_input_kind_rejected(self):
+        from dataclasses import replace
+
+        from repro.workloads.suite import _generate_strings
+
+        spec = replace(get_benchmark("ExactMatch"), input_kind="nonsense")
+        instance = load_benchmark("ExactMatch", SCALE)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="input_kind"):
+            _generate_strings(spec, instance.units[0].dfa, rng)

@@ -1,0 +1,190 @@
+"""Unit tests for the workload substrate: rulesets, traces, splitting, suite."""
+
+import numpy as np
+import pytest
+
+from repro.regex.compile import compile_ruleset
+from repro.regex.parser import parse
+from repro.workloads.rulesets import FAMILY_GENERATORS, generate_ruleset
+from repro.workloads.splitting import insert_delimiters, split_by_delimiter
+from repro.workloads.suite import (
+    SUITE,
+    benchmark_names,
+    get_benchmark,
+    load_benchmark,
+)
+from repro.workloads.traces import becchi_trace, deepening_symbols, random_trace
+
+
+class TestRulesets:
+    @pytest.mark.parametrize("family", sorted(FAMILY_GENERATORS))
+    def test_patterns_parse(self, family):
+        patterns = generate_ruleset(family, 4, seed=3)
+        assert len(patterns) == 4
+        for p in patterns:
+            parse(p)  # must not raise
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_GENERATORS))
+    def test_patterns_compile_to_small_dfa(self, family):
+        patterns = generate_ruleset(family, 2, seed=5)
+        dfa = compile_ruleset(patterns)
+        assert 2 <= dfa.num_states <= 2000
+
+    def test_deterministic_by_seed(self):
+        assert generate_ruleset("Snort", 5, 1) == generate_ruleset("Snort", 5, 1)
+        assert generate_ruleset("Snort", 5, 1) != generate_ruleset("Snort", 5, 2)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            generate_ruleset("NoSuch", 3, 1)
+
+    def test_dotstar_probability_ordering(self):
+        """Higher dotstar probability => at least as many .* rules."""
+        n = 30
+        count03 = sum(".*" in p for p in generate_ruleset("Dotstar03", n, 1))
+        count09 = sum(".*" in p for p in generate_ruleset("Dotstar09", n, 1))
+        assert count09 >= count03
+
+    def test_exactmatch_is_pure_literals(self):
+        for p in generate_ruleset("ExactMatch", 10, 2):
+            assert p.isalpha()
+
+    def test_poweren_contains_stride_rules(self):
+        patterns = generate_ruleset("PowerEN", 4, 1)
+        assert any(p.startswith("^(") for p in patterns)
+
+    def test_protomata_uses_amino_alphabet(self):
+        for p in generate_ruleset("Protomata", 6, 1):
+            # strip regex metacharacters; the rest are amino letters
+            letters = {c for c in p if c.isalpha()}
+            assert letters <= set("ACDEFGHIKLMNPQRSTVWYZ")
+
+
+class TestTraces:
+    def test_random_trace_range(self, rng):
+        trace = random_trace(rng, 500, 10, 20)
+        assert trace.min() >= 10 and trace.max() <= 20
+        assert trace.size == 500
+
+    def test_random_trace_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            random_trace(rng, 10, 5, 2)
+
+    def test_deepening_symbols_move_deeper(self, small_ruleset_dfa):
+        depths = small_ruleset_dfa.state_depths()
+        deepening = deepening_symbols(small_ruleset_dfa, 97, 122)
+        for q, symbols in enumerate(deepening):
+            for c in symbols.tolist():
+                assert depths[small_ruleset_dfa.step(q, c)] > depths[q]
+
+    def test_becchi_trace_pm_zero_is_uniform_range(self, small_ruleset_dfa, rng):
+        trace = becchi_trace(small_ruleset_dfa, rng, 300, p_match=0.0,
+                             symbol_low=97, symbol_high=122)
+        assert trace.min() >= 97 and trace.max() <= 122
+
+    def test_becchi_trace_pm_one_matches_more(self, small_ruleset_dfa):
+        """Higher p_match must produce more pattern hits."""
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        low = becchi_trace(small_ruleset_dfa, rng1, 2000, p_match=0.1,
+                           symbol_low=97, symbol_high=122)
+        high = becchi_trace(small_ruleset_dfa, rng2, 2000, p_match=0.9,
+                            symbol_low=97, symbol_high=122)
+        hits_low = len(small_ruleset_dfa.run_reports(low))
+        hits_high = len(small_ruleset_dfa.run_reports(high))
+        assert hits_high >= hits_low
+
+    def test_becchi_trace_invalid_pm(self, small_ruleset_dfa, rng):
+        with pytest.raises(ValueError):
+            becchi_trace(small_ruleset_dfa, rng, 10, p_match=1.5)
+
+
+class TestSplitting:
+    def test_split_basic(self):
+        pieces = split_by_delimiter([1, 2, 0, 3, 0, 4], 0)
+        assert [p.tolist() for p in pieces] == [[1, 2], [3], [4]]
+
+    def test_split_keep_delimiter(self):
+        pieces = split_by_delimiter([1, 0, 2], 0, keep_delimiter=True)
+        assert [p.tolist() for p in pieces] == [[1, 0], [2]]
+
+    def test_split_drop_empty(self):
+        pieces = split_by_delimiter([0, 0, 1], 0)
+        assert [p.tolist() for p in pieces] == [[1]]
+
+    def test_split_keep_empty(self):
+        pieces = split_by_delimiter([0, 1], 0, drop_empty=False)
+        assert [p.tolist() for p in pieces] == [[], [1]]
+
+    def test_roundtrip(self):
+        pieces = [np.array([1, 2]), np.array([3])]
+        joined = insert_delimiters(pieces, 0)
+        assert joined.tolist() == [1, 2, 0, 3]
+        back = split_by_delimiter(joined, 0)
+        assert [p.tolist() for p in back] == [[1, 2], [3]]
+
+    def test_split_equivalence_to_sequential(self):
+        """Restarting at delimiters matches one pass when patterns cannot
+        cross the delimiter."""
+        dfa = compile_ruleset(["ab", "cd"])
+        text = b"ab.cd.ab"
+        pieces = split_by_delimiter(np.frombuffer(text, dtype=np.uint8), ord("."))
+        split_reports = []
+        for piece in pieces:
+            split_reports.extend(off for off, _ in dfa.run_reports(piece))
+        whole = [off for off, _ in dfa.run_reports(text)]
+        assert len(split_reports) == len(whole)
+
+    def test_empty_input(self):
+        assert insert_delimiters([], 0).size == 0
+        assert split_by_delimiter([], 0) == []
+
+
+class TestSuiteRegistry:
+    def test_thirteen_benchmarks(self):
+        assert len(SUITE) == 13
+        assert len(benchmark_names()) == 13
+
+    def test_paper_table1_values(self):
+        """Spot-check Table I parameters carried over verbatim."""
+        assert get_benchmark("Clamav").lookback == 40
+        assert get_benchmark("Brill").lookback == 50
+        assert get_benchmark("ExactMatch").lookback == 10
+        assert get_benchmark("Snort").cores_per_segment == 3
+        assert get_benchmark("Snort").n_segments == 5
+        assert get_benchmark("Dotstar").cores_per_segment == 2
+        assert get_benchmark("Dotstar").n_segments == 8
+        assert get_benchmark("Protomata").merge_cutoff == 0.99
+        assert get_benchmark("TCP").merge_cutoff == 1.00
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_load_benchmark_cached(self):
+        a = load_benchmark("ExactMatch")
+        b = load_benchmark("ExactMatch")
+        assert a is b
+
+    def test_load_benchmark_structure(self):
+        instance = load_benchmark("ExactMatch")
+        assert instance.n_fsms == get_benchmark("ExactMatch").n_fsms
+        for unit in instance.units:
+            assert unit.dfa.num_states >= 2
+            assert len(unit.strings) == instance.spec.n_strings
+            for s in unit.strings:
+                assert s.size == instance.spec.input_len
+
+    def test_scaled_spec(self):
+        spec = get_benchmark("ExactMatch").scaled(0.5)
+        assert spec.n_fsms == round(get_benchmark("ExactMatch").n_fsms * 0.5)
+        assert spec.input_len == get_benchmark("ExactMatch").input_len // 2
+
+    def test_profile_len_tracks_segments(self):
+        spec = get_benchmark("ExactMatch")
+        assert spec.profile_len == max(100, spec.input_len // spec.n_segments)
+
+    def test_profiling_config_range(self):
+        spec = get_benchmark("Protomata")
+        config = spec.profiling_config()
+        assert config.symbol_low == 65
+        assert config.symbol_high == 89
