@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean golden
+.PHONY: install test test-fast bench bench-kernels report examples clean golden
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,10 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# smoke mode: seconds, no 5x acceptance gate; drop --smoke for the real run
+bench-kernels:
+	$(PYTHON) benchmarks/bench_kernels.py --smoke
 
 report:
 	$(PYTHON) benchmarks/generate_report.py

@@ -1,0 +1,165 @@
+"""Microbenchmark: vectorized software kernels vs the interpreted path.
+
+Times the per-segment interpreted reference (``run_segment`` with
+``backend="python"``) against the batched kernels
+(:func:`repro.kernels.run_segments_batch`) on several DFA/partition
+profiles, asserts bit-identical outcomes, and writes the results to
+``BENCH_software_kernels.json`` at the repository root.
+
+The headline configuration — ``random64/discrete`` — is the acceptance
+check of the kernels: a 64-state DFA, 1 MB of input, 16 segments, one
+set-flow per state.  The lockstep kernel must beat the interpreted path
+by >= 5x there (it measures ~10x on a stock laptop core).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py          # full, ~1 min
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke  # CI, seconds
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.automata.builders import cycle_dfa, random_dfa
+from repro.core.partition import StatePartition
+from repro.core.profiling import ProfilingConfig, predict_convergence_sets
+from repro.engines.base import even_boundaries
+from repro.kernels import KERNEL_BACKENDS, run_segments_batch
+from repro.regex.compile import compile_ruleset
+from repro.software import run_segment
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = ROOT / "BENCH_software_kernels.json"
+RULES = ["cat", "dog", "fi(sh|ne)", "gr[ae]y", "colou?r"]
+
+
+def functions_equal(a, b) -> bool:
+    return len(a.outcomes) == len(b.outcomes) and all(
+        oa.converged == ob.converged
+        and oa.state == ob.state
+        and np.array_equal(oa.states, ob.states)
+        for oa, ob in zip(a.outcomes, b.outcomes)
+    )
+
+
+def build_configs(rng, n_symbols: int) -> List[Dict]:
+    """(name, dfa, partition, word) benchmark configurations."""
+    ruleset = compile_ruleset(RULES)
+    profiled = predict_convergence_sets(
+        ruleset,
+        ProfilingConfig(n_inputs=200, input_len=200, symbol_low=97, symbol_high=122),
+    ).partition
+    random64 = random_dfa(64, 16, rng)
+    return [
+        {
+            "name": "random64/discrete",
+            "dfa": random64,
+            "partition": StatePartition.discrete(64),
+            "word": rng.integers(0, 16, size=n_symbols),
+            "acceptance": True,
+        },
+        {
+            "name": "random64/trivial",
+            "dfa": random64,
+            "partition": StatePartition.trivial(64),
+            "word": rng.integers(0, 16, size=n_symbols),
+            "acceptance": False,
+        },
+        {
+            "name": "ruleset/profiled",
+            "dfa": ruleset,
+            "partition": profiled,
+            "word": rng.integers(97, 123, size=n_symbols),
+            "acceptance": False,
+        },
+        {
+            "name": "cycle128/trivial",
+            "dfa": cycle_dfa(128),
+            "partition": StatePartition.trivial(128),
+            "word": rng.integers(0, 2, size=n_symbols),
+            "acceptance": False,
+        },
+    ]
+
+
+def bench_config(config: Dict, n_segments: int) -> Dict:
+    dfa, partition, word = config["dfa"], config["partition"], config["word"]
+    bounds = even_boundaries(int(word.size), n_segments)[1:]
+    segments = [word[a:b] for a, b in bounds]
+
+    begin = time.perf_counter()
+    reference = [run_segment(dfa, partition, s)[0] for s in segments]
+    python_seconds = time.perf_counter() - begin
+
+    entry = {
+        "config": config["name"],
+        "n_states": dfa.num_states,
+        "n_blocks": partition.num_blocks,
+        "n_symbols": int(word.size),
+        "n_segments": n_segments,
+        "python_seconds": python_seconds,
+        "acceptance_config": config["acceptance"],
+    }
+    for backend in KERNEL_BACKENDS:
+        begin = time.perf_counter()
+        functions = run_segments_batch(dfa, partition, segments, backend=backend)
+        seconds = time.perf_counter() - begin
+        identical = all(
+            functions_equal(ref, fn) for ref, fn in zip(reference, functions)
+        )
+        if not identical:
+            raise AssertionError(f"{config['name']}/{backend} diverged from python")
+        entry[f"{backend}_seconds"] = seconds
+        entry[f"{backend}_speedup"] = python_seconds / seconds if seconds else 0.0
+        entry[f"{backend}_bit_identical"] = identical
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny input for CI; skips the 5x acceptance gate")
+    parser.add_argument("--size", type=int, default=1_000_000,
+                        help="input symbols per configuration")
+    parser.add_argument("--segments", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=20180623)
+    args = parser.parse_args(argv)
+
+    n_symbols = 40_000 if args.smoke else args.size
+    rng = np.random.default_rng(args.seed)
+    results = []
+    for config in build_configs(rng, n_symbols):
+        entry = bench_config(config, args.segments)
+        results.append(entry)
+        best = max(entry["lockstep_speedup"], entry["bitset_speedup"])
+        print(f"{entry['config']:<20} python {entry['python_seconds']:.3f}s  "
+              f"lockstep {entry['lockstep_speedup']:5.1f}x  "
+              f"bitset {entry['bitset_speedup']:5.1f}x  "
+              f"(best {best:.1f}x)")
+        if entry["acceptance_config"] and not args.smoke and best < 5.0:
+            raise SystemExit(
+                f"acceptance gate failed: best kernel speedup {best:.1f}x < 5x"
+            )
+
+    ARTIFACT.write_text(json.dumps(
+        {
+            "benchmark": "software kernel backends vs interpreted run_segment",
+            "smoke": bool(args.smoke),
+            "acceptance_gate": "lockstep or bitset >= 5x on random64/discrete",
+            "results": results,
+        },
+        indent=2,
+    ) + "\n")
+    print(f"wrote {ARTIFACT.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

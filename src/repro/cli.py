@@ -12,7 +12,9 @@ Mirrors the paper's deployment workflow:
 - ``repro figures``  — regenerate a named paper artifact (fig12, fig13, ...);
 - ``repro anml``     — load an ANMLZoo automaton file and report/scan it;
 - ``repro plan``     — pick the best half-core allocation for a ruleset
-  using the closed-form performance model.
+  using the closed-form performance model;
+- ``repro software`` — measured wall-clock software CSE scan with a
+  selectable execution kernel (python/lockstep/bitset).
 
 Examples::
 
@@ -245,6 +247,52 @@ def _plan(args) -> int:
     return 0
 
 
+def _software(args) -> int:
+    import numpy as np
+
+    from repro.core.profiling import predict_convergence_sets
+    from repro.core.partition import StatePartition
+    from repro.kernels import resolve_backend
+    from repro.software import segment_pool, software_cse_scan
+
+    rules = _read_rules(args.rules)
+    dfa = compile_ruleset(rules)
+    data = Path(args.input).read_bytes()
+    if args.partition:
+        partition = load_partition(args.partition)
+    elif args.trivial:
+        partition = StatePartition.trivial(dfa.num_states)
+    else:
+        partition = predict_convergence_sets(
+            dfa,
+            ProfilingConfig(
+                n_inputs=300, input_len=200,
+                symbol_low=args.symbol_low, symbol_high=args.symbol_high,
+            ),
+            cutoff=args.cutoff,
+        ).partition
+    backend = resolve_backend(dfa, args.backend, partition, args.segments)
+    if args.processes:
+        with segment_pool(dfa, args.processes) as executor:
+            run = software_cse_scan(
+                dfa, data, partition, n_segments=args.segments,
+                executor=executor, backend=backend,
+            )
+    else:
+        run = software_cse_scan(
+            dfa, data, partition, n_segments=args.segments, backend=backend,
+        )
+    print(f"backend: {run.backend}  convergence sets: {partition.num_blocks}")
+    print(f"input: {run.n_symbols} symbols in {run.n_segments} segments")
+    print(f"final state: {run.final_state}")
+    print(f"sequential: {run.sequential_seconds * 1e3:.2f} ms")
+    print(f"critical path: {run.critical_path_seconds * 1e3:.2f} ms")
+    print(f"elapsed: {run.elapsed_seconds * 1e3:.2f} ms")
+    print(f"work speedup: {run.work_speedup:.2f}x of ideal {run.n_segments}x "
+          f"(re-executed {run.reexec_segments})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,6 +347,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_anml.add_argument("--input", help="binary file to scan")
     p_anml.add_argument("--reports", type=int, default=5)
     p_anml.set_defaults(func=_anml)
+
+    p_sw = sub.add_parser("software", help="wall-clock software CSE scan")
+    p_sw.add_argument("rules")
+    p_sw.add_argument("input", help="binary input file")
+    p_sw.add_argument("--backend", default="auto",
+                      choices=["auto", "python", "lockstep", "bitset"])
+    p_sw.add_argument("--segments", type=int, default=16)
+    p_sw.add_argument("--processes", type=int, default=0,
+                      help="run segments on a process pool of this size")
+    p_sw.add_argument("--partition", help="partition JSON from `profile -o`")
+    p_sw.add_argument("--trivial", action="store_true",
+                      help="use the single-set partition instead of profiling")
+    p_sw.add_argument("--cutoff", type=float, default=0.99)
+    p_sw.add_argument("--symbol-low", type=int, default=0)
+    p_sw.add_argument("--symbol-high", type=int, default=255)
+    p_sw.set_defaults(func=_software)
 
     p_plan = sub.add_parser("plan", help="recommend a half-core allocation")
     p_plan.add_argument("rules")

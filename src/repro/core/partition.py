@@ -96,8 +96,14 @@ class StatePartition:
         return self._block_of[int(state)]
 
     def block_arrays(self) -> List[np.ndarray]:
-        """Blocks as sorted int32 arrays (the engines' working format)."""
-        return [np.asarray(sorted(b), dtype=np.int32) for b in self.blocks]
+        """Blocks as sorted int64 arrays (the engines' working format).
+
+        int64 is the one state dtype of the execution layer: every
+        ``CsOutcome.states`` array descends from these blocks, so keeping
+        them int64 means :meth:`SegmentFunction.apply` never re-casts and
+        flow-pool ``tobytes()`` keys are comparable across producers.
+        """
+        return [np.asarray(sorted(b), dtype=np.int64) for b in self.blocks]
 
     def labels(self) -> np.ndarray:
         """Block index per state, as an array of length ``num_states``."""

@@ -75,7 +75,8 @@ class SegmentFunction:
             if outcome.converged:
                 parts.append(np.asarray([outcome.state], dtype=np.int64))
             elif outcome.states.size:
-                parts.append(outcome.states.astype(np.int64))
+                # outcome arrays are int64 end-to-end; this is a no-op view
+                parts.append(outcome.states.astype(np.int64, copy=False))
             # empty outcome: the set was proven infeasible (hybrid pruning)
         if not parts:
             raise AssertionError(
@@ -124,6 +125,7 @@ def execute_segment(
         blocks = partition.block_arrays()
     elif len(blocks) != partition.num_blocks:
         raise ValueError("need exactly one block override per partition block")
+    blocks = [np.asarray(b, dtype=np.int64) for b in blocks]
     acc = dfa.accepting_mask
     # flow pool: distinct current sets; each CS points at a flow
     flow_sets: List[np.ndarray] = []
@@ -151,7 +153,8 @@ def execute_segment(
             live += 1
         return live
 
-    table = dfa.transitions
+    # int64 table keeps stepped sets int64 end-to-end (pool keys comparable)
+    table = dfa.transitions.astype(np.int64)
     r_trace: List[int] = [live_count()]
     for sym in segment:
         new_sets: List[np.ndarray] = []

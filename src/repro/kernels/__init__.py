@@ -1,0 +1,32 @@
+"""Vectorized execution kernels for the software CSE path.
+
+The interpreted reference path (:func:`repro.software.run_segment` with
+``backend="python"``) pays Python bytecode per state transition; these
+kernels pay it per *symbol position of the whole scan*:
+
+- :mod:`repro.kernels.lockstep` — cross-segment lockstep stepping: all
+  scalar flows of all segments advance with one fancy-indexed gather per
+  position; diverged sets ride a flat member array.
+- :mod:`repro.kernels.bitset` — uint64-packed active masks with
+  precomputed per-symbol predecessor matrices (the software realization of
+  the AP's one-hot step), stepping a set in O(N/64) words.
+- :mod:`repro.kernels.batch` — the orchestrator that runs every
+  enumerative segment through one batched pass and the shared
+  ``resolve_backend`` default-resolution helper.
+"""
+
+from repro.kernels.batch import (
+    BACKENDS,
+    KERNEL_BACKENDS,
+    resolve_backend,
+    run_segments_batch,
+)
+from repro.kernels.bitset import BitsetTables
+
+__all__ = [
+    "BACKENDS",
+    "KERNEL_BACKENDS",
+    "BitsetTables",
+    "resolve_backend",
+    "run_segments_batch",
+]

@@ -1,0 +1,166 @@
+"""Batched segment execution: one interpreter loop for the whole scan.
+
+:func:`run_segments_batch` is the software kernel entry point.  It stacks
+all enumerative segments into an ``(n_segments, seg_len)`` symbol matrix
+(:func:`repro.engines.base.stack_segments` — lengths from
+``even_boundaries`` differ by at most one, and ragged tails are handled
+with an active-segment mask) and walks symbol positions **once**, advancing
+
+- every scalar flow of every segment with one fancy-indexed gather
+  (:class:`repro.kernels.lockstep.ScalarPool`), and
+- every diverged convergence set of every segment with one batched
+  set-step, via either the flat-member lockstep pool or the packed-bitset
+  pool depending on ``backend``.
+
+The moment a set flow collapses to M = 1 it degrades into the scalar pool,
+so the steady-state cost per position is a single gather regardless of how
+many segments and convergence sets the scan has — this is where the
+interpreter gets amortized across the batch instead of being paid per
+segment.
+
+Outcomes are bit-identical to :func:`repro.software.run_segment`'s
+``backend="python"`` path: converged sets yield the same concrete state,
+diverged sets the same sorted-unique int64 state array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.automata.dfa import Dfa, as_symbols
+from repro.core.partition import StatePartition
+from repro.core.transition import CsOutcome, SegmentFunction
+from repro.engines.base import stack_segments
+from repro.kernels.bitset import BitsetSetFlows, BitsetTables
+from repro.kernels.lockstep import FlatSetFlows, ScalarPool
+
+__all__ = ["BACKENDS", "KERNEL_BACKENDS", "resolve_backend", "run_segments_batch"]
+
+#: every executable backend of the software CSE path
+BACKENDS = ("python", "lockstep", "bitset")
+#: the vectorized kernels (everything but the interpreted reference path)
+KERNEL_BACKENDS = ("lockstep", "bitset")
+
+def resolve_backend(
+    dfa: Dfa,
+    backend: Optional[str] = None,
+    partition: Optional[StatePartition] = None,
+    n_segments: int = 16,
+) -> str:
+    """Shared default-resolution for the software kernel backend.
+
+    Explicit names pass through (after validation); ``None``/``"auto"``
+    picks from the DFA + partition profile — the single place the
+    "partition-friendly profile" heuristic lives, shared by
+    :func:`repro.software.software_cse_scan`, ``stream.StreamScanner`` and
+    ``stream.FleetScanner``.
+
+    The measured trade-off (see ``benchmarks/bench_kernels.py``): the
+    lockstep kernel wins whenever there is enough batched work per symbol
+    position — many scalar flows (``n_blocks * segments``) or wide
+    convergence sets whose diverged phase the interpreter would pay
+    ``unique``/``take`` churn for.  The interpreted path only wins when
+    both dimensions are tiny.  ``"bitset"`` is never auto-picked: in this
+    NumPy realization its O(N/64)-word step is dominated by the flat
+    gather except for near-full sets on sub-64-state machines; it stays an
+    explicit choice (and the differential-testing model of the AP's
+    one-hot step).
+    """
+    if backend in BACKENDS:
+        return backend
+    if backend not in (None, "auto"):
+        raise ValueError(
+            f"unknown backend {backend!r}; pick one of {BACKENDS + ('auto',)}"
+        )
+    if partition is None:
+        n_blocks, max_block = 1, dfa.num_states
+    else:
+        sizes = [len(b) for b in partition.blocks]
+        n_blocks, max_block = len(sizes), max(sizes)
+    enum_segments = max(1, n_segments - 1)
+    if max_block > 8 or n_blocks * enum_segments >= 48:
+        return "lockstep"
+    return "python"
+
+
+def run_segments_batch(
+    dfa: Dfa,
+    partition: StatePartition,
+    segments: Sequence[np.ndarray],
+    backend: str = "lockstep",
+    tables: Optional[BitsetTables] = None,
+) -> List[SegmentFunction]:
+    """Execute every enumerative segment's set-flows in one batched pass.
+
+    Returns one :class:`SegmentFunction` per entry of ``segments``,
+    bit-identical to running :func:`repro.software.run_segment` per
+    segment.  ``tables`` optionally reuses precomputed
+    :class:`BitsetTables` across calls (streaming).
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(f"batched execution needs one of {KERNEL_BACKENDS}")
+    segments = [as_symbols(s) for s in segments]
+    n_seg = len(segments)
+    if n_seg == 0:
+        return []
+    labels = partition.labels()
+    blocks = partition.block_arrays()
+    n_states = dfa.num_states
+    flat = dfa.transitions.astype(np.int64).ravel()
+    matrix, lengths = stack_segments(segments)
+    offsets = matrix * n_states
+
+    single_ids = [i for i, b in enumerate(blocks) if b.size == 1]
+    multi_ids = np.asarray(
+        [i for i, b in enumerate(blocks) if b.size > 1], dtype=np.int64
+    )
+    multi_blocks = [blocks[i] for i in multi_ids.tolist()]
+
+    pool = ScalarPool(flat)
+    if single_ids:
+        singles = np.asarray([int(blocks[i][0]) for i in single_ids], dtype=np.int64)
+        pool.extend(
+            np.tile(singles, n_seg),
+            np.repeat(np.arange(n_seg, dtype=np.int64), len(single_ids)),
+            np.tile(np.asarray(single_ids, dtype=np.int64), n_seg),
+        )
+    if backend == "bitset":
+        flows = BitsetSetFlows(
+            tables or BitsetTables(dfa), multi_blocks, multi_ids, n_seg
+        )
+    else:
+        flows = FlatSetFlows(flat, multi_blocks, multi_ids, n_seg)
+
+    length_min = int(lengths.min()) if n_seg else 0
+    length_max = int(lengths.max()) if n_seg else 0
+    for t in range(length_min):
+        col_off = offsets[:, t]
+        pool.step(col_off)
+        if backend == "bitset":
+            pool.absorb(flows.step(matrix[:, t]))
+        else:
+            pool.absorb(flows.step(col_off))
+    for t in range(length_min, length_max):
+        seg_active = lengths > t
+        col_off = offsets[:, t]
+        pool.step(col_off, seg_active)
+        if backend == "bitset":
+            pool.absorb(flows.step(matrix[:, t], seg_active))
+        else:
+            pool.absorb(flows.step(col_off, seg_active))
+
+    grid: List[List[Optional[CsOutcome]]] = [
+        [None] * len(blocks) for _ in range(n_seg)
+    ]
+    for state, seg, blk in zip(
+        pool.states.tolist(), pool.seg.tolist(), pool.block.tolist()
+    ):
+        grid[seg][blk] = CsOutcome(
+            True, int(state), np.asarray([state], dtype=np.int64)
+        )
+    for states, seg, blk in flows.final_outcomes():
+        grid[seg][blk] = CsOutcome(False, None, states.astype(np.int64))
+    assert all(o is not None for outcomes in grid for o in outcomes)
+    return [SegmentFunction(list(outcomes), labels) for outcomes in grid]

@@ -1,0 +1,188 @@
+"""Bitset set-flow kernel: uint64-packed active masks.
+
+This is the software realization of the AP's one-hot step (Section III-A,
+generalizing :mod:`repro.automata.onehot`): a not-yet-converged convergence
+set is an N-bit active mask packed into ``ceil(N/64)`` uint64 words, and one
+symbol step is an AND of the mask against the symbol's precomputed packed
+*predecessor* matrix followed by a row-wise any — ``O(N/64)`` words of
+traffic per target state, with zero ``unique``/``take`` allocation churn.
+
+:class:`BitsetTables` holds the per-symbol predecessor matrices (built once
+per DFA, reusable across segments and scans); :class:`BitsetSetFlows` steps
+a whole batch of flows — every diverged convergence set of every segment —
+with one vectorized operation per symbol position, and reports flows that
+collapsed to a single state so the orchestrator can degrade them to the
+lockstep scalar pool.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+
+__all__ = ["BitsetTables", "BitsetSetFlows", "pack_bool", "unpack_words"]
+
+
+def pack_bool(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(..., n)`` boolean array into ``(..., ceil(n/64))`` uint64.
+
+    Bit ``b`` of word ``w`` corresponds to column ``w * 64 + b``
+    (little-endian bit order, matching :func:`unpack_words`).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    n = bits.shape[-1]
+    words = (n + 63) // 64
+    pad = words * 64 - n
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=bool)], axis=-1
+        )
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    return packed.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool`: ``(..., W)`` uint64 -> ``(..., n)`` bool."""
+    words = np.ascontiguousarray(words)
+    bits = np.unpackbits(words.view(np.uint8), axis=-1, bitorder="little")
+    return bits[..., :n].astype(bool)
+
+
+class BitsetTables:
+    """Per-symbol packed predecessor matrices for a DFA.
+
+    ``pred[c]`` has shape ``(num_states, words)``: row ``t`` is the packed
+    mask of states ``q`` with ``delta(q, c) == t``.  Stepping an active mask
+    ``m`` is then ``next[t] = any(pred[c][t] & m)`` — the transpose of the
+    AP's "OR the rows of active states" formulation, chosen because it
+    vectorizes over targets *and* over a batch of flows at once.
+    """
+
+    def __init__(self, dfa: Dfa):
+        n = dfa.num_states
+        alphabet = dfa.alphabet_size
+        self.num_states = n
+        self.words = (n + 63) // 64
+        pred = np.empty((alphabet, n, self.words), dtype=np.uint64)
+        cols = np.arange(n)
+        onehot = np.empty((n, n), dtype=bool)
+        for c in range(alphabet):
+            onehot[:] = False
+            onehot[dfa.transitions[c], cols] = True
+            pred[c] = pack_bool(onehot)
+        self.pred = pred
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.pred.nbytes)
+
+    def mask_from_states(self, states: np.ndarray) -> np.ndarray:
+        """Packed ``(words,)`` mask with the given state bits set."""
+        bits = np.zeros(self.num_states, dtype=bool)
+        idx = np.asarray(states, dtype=np.int64)
+        if idx.size:
+            bits[idx] = True
+        return pack_bool(bits)
+
+    def states_from_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Sorted int64 state ids of the set bits."""
+        return np.flatnonzero(unpack_words(mask, self.num_states)).astype(np.int64)
+
+    def step_masks(self, masks: np.ndarray, symbols: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance a batch of packed masks, each under its own symbol.
+
+        Returns ``(next_masks, sizes)`` where ``sizes[f]`` is the popcount
+        of flow ``f``'s next mask (used for the M = 1 degradation check).
+        """
+        hits = self.pred[symbols] & masks[:, None, :]  # (F, N, W)
+        bits = hits.any(axis=2)                        # (F, N)
+        return pack_bool(bits), bits.sum(axis=1)
+
+
+class BitsetSetFlows:
+    """Batched diverged-set stepping over packed masks.
+
+    One flow per (segment, multi-member convergence set) pair.  The
+    orchestrator calls :meth:`step` once per symbol position; flows whose
+    mask popcount drops to 1 are removed and returned as
+    ``(state, segment, block)`` triples so they can continue in the scalar
+    lockstep pool.
+    """
+
+    def __init__(
+        self,
+        tables: BitsetTables,
+        multi_blocks: List[np.ndarray],
+        multi_ids: np.ndarray,
+        n_segments: int,
+    ):
+        self.tables = tables
+        n_multi = len(multi_blocks)
+        if n_multi:
+            bits = np.zeros((n_multi, tables.num_states), dtype=bool)
+            for j, block in enumerate(multi_blocks):
+                bits[j, block] = True
+            base = pack_bool(bits)
+            self.masks = np.tile(base, (n_segments, 1))
+        else:
+            self.masks = np.empty((0, tables.words), dtype=np.uint64)
+        self.flow_seg = np.repeat(np.arange(n_segments, dtype=np.int64), n_multi)
+        self.flow_block = np.tile(np.asarray(multi_ids, dtype=np.int64), n_segments)
+
+    @property
+    def n_flows(self) -> int:
+        return int(self.flow_seg.size)
+
+    def step(
+        self, sym_col: np.ndarray, seg_active: Optional[np.ndarray] = None
+    ) -> List[Tuple[int, int, int]]:
+        """One symbol position for every (active) flow.
+
+        ``sym_col[s]`` is segment ``s``'s symbol at this position;
+        ``seg_active`` optionally restricts stepping to segments that still
+        have symbols left (ragged tails).  Returns collapsed flows as
+        ``(state, segment, block)`` triples and removes them.
+        """
+        if not self.n_flows:
+            return []
+        if seg_active is None:
+            idx = None
+            masks = self.masks
+            segs = self.flow_seg
+        else:
+            idx = np.flatnonzero(seg_active[self.flow_seg])
+            if not idx.size:
+                return []
+            masks = self.masks[idx]
+            segs = self.flow_seg[idx]
+        nxt, sizes = self.tables.step_masks(masks, sym_col[segs])
+        if idx is None:
+            self.masks = nxt
+            hit = np.flatnonzero(sizes == 1)
+        else:
+            self.masks[idx] = nxt
+            hit = idx[sizes == 1]
+        if not hit.size:
+            return []
+        collapsed = []
+        for f in hit.tolist():
+            state = int(self.tables.states_from_mask(self.masks[f])[0])
+            collapsed.append((state, int(self.flow_seg[f]), int(self.flow_block[f])))
+        keep = np.ones(self.n_flows, dtype=bool)
+        keep[hit] = False
+        self.masks = self.masks[keep]
+        self.flow_seg = self.flow_seg[keep]
+        self.flow_block = self.flow_block[keep]
+        return collapsed
+
+    def final_outcomes(self) -> List[Tuple[np.ndarray, int, int]]:
+        """Remaining diverged flows as ``(states, segment, block)`` triples."""
+        out = []
+        for f in range(self.n_flows):
+            states = self.tables.states_from_mask(self.masks[f])
+            out.append((states, int(self.flow_seg[f]), int(self.flow_block[f])))
+        return out

@@ -16,16 +16,33 @@ The design mirrors the hardware engine but measures real seconds:
 - composition and re-execution reuse the exact machinery of
   :mod:`repro.core.reexec`.
 
+Three execution backends are available (``backend=``):
+
+- ``"python"`` — the per-segment interpreted reference path above;
+- ``"lockstep"`` — all enumerative segments stacked into one symbol
+  matrix and every scalar flow of every segment advanced with a single
+  fancy-indexed gather per symbol position (:mod:`repro.kernels`);
+- ``"bitset"`` — diverged sets stepped as uint64-packed active masks
+  (the software realization of the AP's one-hot step), degrading to the
+  lockstep scalar pool on collapse.
+
+``backend="auto"`` picks via :func:`repro.kernels.resolve_backend`, the
+same helper the streaming layer uses.
+
 Per-segment wall times are measured individually, so the result reports
 both the *work speedup* (total sequential seconds / critical-path
 seconds, what a perfectly parallel machine would achieve) and, when an
-executor with real parallelism is supplied, the elapsed speedup.
+executor with real parallelism is supplied, the elapsed speedup.  For
+process pools, :func:`segment_pool` builds an executor whose workers
+receive the transition table **once** via the pool initializer instead of
+re-pickling the :class:`Dfa` into every submitted segment.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
-from concurrent.futures import Executor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -36,8 +53,16 @@ from repro.core.partition import StatePartition
 from repro.core.reexec import ReexecutionStats, compose_and_fix
 from repro.core.transition import CsOutcome, SegmentFunction
 from repro.engines.base import even_boundaries
+from repro.kernels import BACKENDS, resolve_backend, run_segments_batch
 
-__all__ = ["SoftwareRun", "scan_sequential", "run_segment", "software_cse_scan"]
+__all__ = [
+    "SoftwareRun",
+    "scan_sequential",
+    "run_segment",
+    "software_cse_scan",
+    "segment_pool",
+    "dfa_fingerprint",
+]
 
 
 def _table_rows(dfa: Dfa) -> List[List[int]]:
@@ -45,11 +70,22 @@ def _table_rows(dfa: Dfa) -> List[List[int]]:
     return [row.tolist() for row in dfa.transitions]
 
 
-def scan_sequential(dfa: Dfa, symbols, start_state: Optional[int] = None
-                    ) -> Tuple[int, float]:
-    """Tight sequential scan; returns ``(final_state, seconds)``."""
-    syms = as_symbols(symbols).tolist()
-    rows = _table_rows(dfa)
+def scan_sequential(
+    dfa: Dfa,
+    symbols,
+    start_state: Optional[int] = None,
+    rows: Optional[List[List[int]]] = None,
+    symbol_list: Optional[List[int]] = None,
+) -> Tuple[int, float]:
+    """Tight sequential scan; returns ``(final_state, seconds)``.
+
+    ``rows`` / ``symbol_list`` optionally reuse conversions the caller
+    already paid for (:func:`software_cse_scan` converts once per scan and
+    passes them down to every pass, including the oracle).
+    """
+    syms = symbol_list if symbol_list is not None else as_symbols(symbols).tolist()
+    if rows is None:
+        rows = _table_rows(dfa)
     state = dfa.start if start_state is None else int(start_state)
     begin = time.perf_counter()
     for sym in syms:
@@ -62,15 +98,28 @@ def run_segment(
     dfa: Dfa,
     partition: StatePartition,
     segment: np.ndarray,
+    backend: str = "python",
+    rows: Optional[List[List[int]]] = None,
+    segment_list: Optional[List[int]] = None,
 ) -> Tuple[SegmentFunction, float]:
     """One segment's set-flows, with the converged-flow fast path.
 
     Returns the segment transition function and the measured seconds.
+    ``backend`` selects the interpreted reference path (``"python"``) or a
+    vectorized kernel (``"lockstep"`` / ``"bitset"``) — results are
+    bit-identical.
     """
-    rows = _table_rows(dfa)
-    table = dfa.transitions
+    if backend != "python":
+        segment = as_symbols(segment)
+        begin = time.perf_counter()
+        functions = run_segments_batch(dfa, partition, [segment], backend=backend)
+        return functions[0], time.perf_counter() - begin
+    if rows is None:
+        rows = _table_rows(dfa)
+    table = dfa.transitions.astype(np.int64)
     blocks = partition.block_arrays()
-    segment_list = segment.tolist()
+    if segment_list is None:
+        segment_list = as_symbols(segment).tolist()
     begin = time.perf_counter()
     outcomes: List[CsOutcome] = []
     for block in blocks:
@@ -91,12 +140,65 @@ def run_segment(
         if scalar is not None:
             outcomes.append(
                 CsOutcome(True, int(scalar),
-                          np.asarray([scalar], dtype=np.int32))
+                          np.asarray([scalar], dtype=np.int64))
             )
         else:
             outcomes.append(CsOutcome(False, None, current))
     elapsed = time.perf_counter() - begin
     return SegmentFunction(outcomes, partition.labels()), elapsed
+
+
+# ----------------------------------------------------------------------
+# process-pool support: ship the transition table once per worker
+# ----------------------------------------------------------------------
+
+_WORKER_DFA: Optional[Dfa] = None
+
+
+def dfa_fingerprint(dfa: Dfa) -> Tuple:
+    """A stable identity for a DFA (used to match pools to machines)."""
+    digest = hashlib.sha1(dfa.transitions.tobytes()).hexdigest()
+    return (
+        dfa.transitions.shape,
+        dfa.start,
+        tuple(sorted(dfa.accepting)),
+        digest,
+    )
+
+
+def _pool_init(table_bytes, shape, start, accepting) -> None:
+    global _WORKER_DFA
+    table = np.frombuffer(table_bytes, dtype=np.int32).reshape(shape)
+    _WORKER_DFA = Dfa(table, start, accepting)
+
+
+def _pool_run_segment(partition, segment, backend):
+    if _WORKER_DFA is None:
+        raise RuntimeError("worker missing its DFA; build the pool "
+                           "with repro.software.segment_pool")
+    return run_segment(_WORKER_DFA, partition, segment, backend=backend)
+
+
+def segment_pool(dfa: Dfa, max_workers: Optional[int] = None) -> ProcessPoolExecutor:
+    """A :class:`ProcessPoolExecutor` pre-loaded with ``dfa``.
+
+    The transition table is shipped to each worker exactly once through
+    the pool initializer; :func:`software_cse_scan` recognizes such pools
+    (by fingerprint) and submits segments *without* pickling the
+    :class:`Dfa` into every task.
+    """
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_pool_init,
+        initargs=(
+            dfa.transitions.tobytes(),
+            dfa.transitions.shape,
+            dfa.start,
+            tuple(sorted(dfa.accepting)),
+        ),
+    )
+    pool._repro_dfa_fingerprint = dfa_fingerprint(dfa)
+    return pool
 
 
 @dataclass
@@ -111,6 +213,7 @@ class SoftwareRun:
     repair_seconds: float
     elapsed_seconds: float
     reexec_segments: int
+    backend: str = "python"
 
     @property
     def critical_path_seconds(self) -> float:
@@ -138,34 +241,83 @@ def software_cse_scan(
     n_segments: int = 16,
     executor: Optional[Executor] = None,
     policy: str = "opportunistic",
+    backend: str = "python",
+    start_state: Optional[int] = None,
+    verify: bool = True,
 ) -> SoftwareRun:
     """Scan an input with software CSE; verify against the tight loop.
 
-    ``executor`` (e.g. a ``ProcessPoolExecutor``) runs segments truly in
-    parallel when cores exist; without one, segments run serially but are
-    timed individually, so :attr:`SoftwareRun.work_speedup` still reports
-    the parallel-machine number faithfully.
+    ``executor`` (e.g. a pool from :func:`segment_pool`) runs segments
+    truly in parallel when cores exist; without one, segments run serially
+    but are timed individually, so :attr:`SoftwareRun.work_speedup` still
+    reports the parallel-machine number faithfully.  With a kernel
+    ``backend`` and no executor, all enumerative segments execute in one
+    batched pass (:func:`repro.kernels.run_segments_batch`); its elapsed
+    time is attributed evenly across segments, which is the honest
+    amortized figure for a SIMD realization of the parallel machine.
+
+    ``verify=False`` skips the sequential oracle pass (the composed result
+    is exact by construction — re-execution repairs any failed
+    speculation); callers on the hot path (streaming) use it, at the price
+    of ``sequential_seconds`` reading 0.
     """
+    backend = resolve_backend(dfa, backend, partition, n_segments)
     syms = as_symbols(symbols)
     bounds = even_boundaries(int(syms.size), n_segments)
+    rows = _table_rows(dfa)
+    syms_list: Optional[List[int]] = syms.tolist() if executor is None else None
     begin_all = time.perf_counter()
 
     # segment 1: concrete scan
+    a0, b0 = bounds[0]
     first_final, first_seconds = scan_sequential(
-        dfa, syms[bounds[0][0]:bounds[0][1]]
+        dfa,
+        syms[a0:b0],
+        start_state=start_state,
+        rows=rows,
+        symbol_list=None if syms_list is None else syms_list[a0:b0],
     )
 
     enum_bounds = bounds[1:]
     if executor is not None:
-        futures = [
-            executor.submit(run_segment, dfa, partition, syms[a:b])
+        pooled = (
+            getattr(executor, "_repro_dfa_fingerprint", None)
+            == dfa_fingerprint(dfa)
+        )
+        if pooled:
+            futures = [
+                executor.submit(_pool_run_segment, partition, syms[a:b], backend)
+                for a, b in enum_bounds
+            ]
+        else:
+            futures = [
+                executor.submit(run_segment, dfa, partition, syms[a:b], backend)
+                for a, b in enum_bounds
+            ]
+        timed = [f.result() for f in futures]
+        functions = [fn for fn, _sec in timed]
+        enum_seconds = [sec for _fn, sec in timed]
+    elif backend != "python":
+        kernel_begin = time.perf_counter()
+        functions = run_segments_batch(
+            dfa, partition, [syms[a:b] for a, b in enum_bounds], backend=backend
+        )
+        kernel_elapsed = time.perf_counter() - kernel_begin
+        enum_seconds = [kernel_elapsed / max(1, len(enum_bounds))] * len(enum_bounds)
+    else:
+        timed = [
+            run_segment(
+                dfa,
+                partition,
+                syms[a:b],
+                rows=rows,
+                segment_list=syms_list[a:b],
+            )
             for a, b in enum_bounds
         ]
-        timed = [f.result() for f in futures]
-    else:
-        timed = [run_segment(dfa, partition, syms[a:b]) for a, b in enum_bounds]
-    functions = [fn for fn, _sec in timed]
-    segment_seconds = [first_seconds] + [sec for _fn, sec in timed]
+        functions = [fn for fn, _sec in timed]
+        enum_seconds = [sec for _fn, sec in timed]
+    segment_seconds = [first_seconds] + enum_seconds
 
     repair_begin = time.perf_counter()
     final, stats = compose_and_fix(
@@ -174,9 +326,13 @@ def software_cse_scan(
     repair_seconds = time.perf_counter() - repair_begin
     elapsed = time.perf_counter() - begin_all
 
-    oracle, sequential_seconds = scan_sequential(dfa, syms)
-    if final != oracle:
-        raise AssertionError("software CSE diverged from the tight loop")
+    sequential_seconds = 0.0
+    if verify:
+        oracle, sequential_seconds = scan_sequential(
+            dfa, syms, start_state=start_state, rows=rows, symbol_list=syms_list
+        )
+        if final != oracle:
+            raise AssertionError("software CSE diverged from the tight loop")
     return SoftwareRun(
         final_state=int(final),
         n_symbols=int(syms.size),
@@ -186,4 +342,5 @@ def software_cse_scan(
         repair_seconds=repair_seconds,
         elapsed_seconds=elapsed,
         reexec_segments=len(stats.reexecuted_segments),
+        backend=backend,
     )

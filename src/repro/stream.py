@@ -30,8 +30,9 @@ from repro.engines.base import Engine
 from repro.engines.sequential import SequentialEngine
 from repro.hardware.ap import APConfig
 from repro.hardware.cost import throughput_symbols_per_sec
+from repro.kernels import resolve_backend
 
-__all__ = ["StreamScanner", "FleetScanner", "FleetResult"]
+__all__ = ["StreamScanner", "FleetScanner", "FleetResult", "FleetWallclock"]
 
 
 class StreamScanner:
@@ -44,11 +45,19 @@ class StreamScanner:
     engine:
         Optional parallel engine used to *model* chunk latency (its cycle
         count feeds :attr:`cycles`); report extraction always runs the
-        exact sequential pass.  Defaults to a CSE engine when the DFA has
-        a partition-friendly profile, else plain sequential.
+        exact sequential pass.
     min_parallel_chunk:
         Chunks shorter than this are charged at sequential cost — with
         segments only a few symbols long, enumeration cannot pay off.
+    backend:
+        Software kernel backend used to carry the FSM state across long
+        chunks when no model ``engine`` is given.  ``None``/``"auto"``
+        resolves through :func:`repro.kernels.resolve_backend` (the same
+        partition-friendly-profile helper :class:`FleetScanner` uses);
+        ``"python"`` forces the plain table walk.
+    partition:
+        Convergence partition for the kernel path; defaults to the
+        trivial single-set partition.
     """
 
     def __init__(
@@ -56,10 +65,16 @@ class StreamScanner:
         dfa: Dfa,
         engine: Optional[Engine] = None,
         min_parallel_chunk: int = 512,
+        backend: Optional[str] = "python",
+        partition: Optional[StatePartition] = None,
+        n_segments: int = 8,
     ):
         self.dfa = dfa
         self.engine = engine
         self.min_parallel_chunk = int(min_parallel_chunk)
+        self.partition = partition or StatePartition.trivial(dfa.num_states)
+        self.n_segments = int(n_segments)
+        self.backend = resolve_backend(dfa, backend, self.partition, n_segments)
         self.reset()
 
     def reset(self) -> None:
@@ -84,6 +99,20 @@ class StreamScanner:
         if self.engine is not None and syms.size >= self.min_parallel_chunk:
             run = self.engine.run(syms, start_state=self.state)
             self.cycles += run.cycles
+            end_state = run.final_state
+        elif self.backend != "python" and syms.size >= self.min_parallel_chunk:
+            from repro.software import software_cse_scan
+
+            run = software_cse_scan(
+                self.dfa,
+                syms,
+                self.partition,
+                n_segments=self.n_segments,
+                backend=self.backend,
+                start_state=self.state,
+                verify=False,
+            )
+            self.cycles += int(syms.size)
             end_state = run.final_state
         else:
             self.cycles += int(syms.size)
@@ -135,6 +164,7 @@ class FleetScanner:
         partitions: Optional[Sequence[Optional[StatePartition]]] = None,
         config: Optional[APConfig] = None,
         n_segments: int = 8,
+        backend: Optional[str] = "auto",
     ):
         if not dfas:
             raise ValueError("need at least one FSM")
@@ -146,9 +176,14 @@ class FleetScanner:
         per_fsm_cores = max(1, self.config.total_half_cores // len(dfas))
         cores_per_segment = max(1, per_fsm_cores // self.n_segments)
         self.engines: List[Engine] = []
+        self.backends: List[str] = []
         for dfa, partition in zip(dfas, partitions):
             if partition is None:
                 partition = StatePartition.trivial(dfa.num_states)
+            # same shared default-resolution helper StreamScanner uses
+            self.backends.append(
+                resolve_backend(dfa, backend, partition, self.n_segments)
+            )
             self.engines.append(
                 CseEngine(
                     dfa,
@@ -187,3 +222,51 @@ class FleetScanner:
             cycles=int(cycles),
             config=self.config,
         )
+
+    def scan_wallclock(self, symbols) -> "FleetWallclock":
+        """Measured-seconds fleet scan on the software kernels.
+
+        Runs every FSM's software CSE scan with its resolved kernel
+        backend and reports real wall-clock, the deployment-facing
+        counterpart of the cycle-model :meth:`scan`.
+        """
+        from repro.software import software_cse_scan
+
+        syms = as_symbols(symbols)
+        runs = []
+        for engine, backend in zip(self.engines, self.backends):
+            runs.append(
+                software_cse_scan(
+                    engine.dfa,
+                    syms,
+                    engine.partition,
+                    n_segments=self.n_segments,
+                    backend=backend,
+                )
+            )
+        return FleetWallclock(runs=runs)
+
+
+@dataclass
+class FleetWallclock:
+    """Wall-clock outcome of :meth:`FleetScanner.scan_wallclock`."""
+
+    runs: List  # List[repro.software.SoftwareRun]
+
+    @property
+    def sequential_seconds(self) -> float:
+        return sum(r.sequential_seconds for r in self.runs)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return sum(r.elapsed_seconds for r in self.runs)
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """FSMs run concurrently: the fleet latency is the slowest FSM."""
+        return max(r.critical_path_seconds for r in self.runs)
+
+    @property
+    def work_speedup(self) -> float:
+        path = self.critical_path_seconds
+        return self.sequential_seconds / path if path > 0 else float("inf")

@@ -144,6 +144,56 @@ class TestAnml:
         assert "2 report events" in out
 
 
+class TestSoftware:
+    @pytest.mark.parametrize("backend", ["python", "lockstep", "bitset", "auto"])
+    def test_each_backend(self, rules_file, input_file, backend, capsys):
+        code = main([
+            "software", rules_file, input_file,
+            "--backend", backend, "--segments", "4", "--trivial",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend:" in out
+        assert "final state" in out
+        assert "work speedup" in out
+
+    def test_profiled_partition(self, rules_file, input_file, capsys):
+        code = main([
+            "software", rules_file, input_file,
+            "--segments", "4",
+            "--symbol-low", "97", "--symbol-high", "122",
+        ])
+        assert code == 0
+        assert "convergence sets" in capsys.readouterr().out
+
+    def test_saved_partition(self, rules_file, input_file, tmp_path, capsys):
+        sets_path = tmp_path / "sets.json"
+        main(["profile", rules_file, "--inputs", "40", "--length", "50",
+              "--symbol-low", "97", "--symbol-high", "122",
+              "-o", str(sets_path)])
+        capsys.readouterr()
+        code = main([
+            "software", rules_file, input_file,
+            "--segments", "4", "--partition", str(sets_path),
+            "--backend", "lockstep",
+        ])
+        assert code == 0
+        assert "backend: lockstep" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_process_pool(self, rules_file, input_file, capsys):
+        code = main([
+            "software", rules_file, input_file,
+            "--segments", "4", "--trivial", "--processes", "2",
+        ])
+        assert code == 0
+        assert "final state" in capsys.readouterr().out
+
+    def test_backend_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["software", "r", "i", "--backend", "simd"])
+
+
 class TestPlan:
     def test_recommends_allocation(self, rules_file, capsys):
         code = main([

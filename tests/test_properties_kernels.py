@@ -1,0 +1,135 @@
+"""Property-based tests: the vectorized kernels are exact.
+
+Every backend of the software CSE path must produce bit-identical
+segment transition functions on arbitrary machines, inputs and
+partitions, and the end-to-end scan must equal the sequential oracle.
+The bitset step is additionally diffed against the frozenset reference
+machine (:class:`repro.automata.onehot.PySetAutomaton`).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfa import Dfa
+from repro.automata.onehot import PySetAutomaton
+from repro.core.partition import StatePartition
+from repro.engines.base import even_boundaries
+from repro.kernels import KERNEL_BACKENDS, BitsetTables, run_segments_batch
+from repro.software import run_segment, software_cse_scan
+
+
+@st.composite
+def dfas(draw, min_states=1, max_states=12, max_alphabet=4):
+    n = draw(st.integers(min_states, max_states))
+    k = draw(st.integers(1, max_alphabet))
+    table = draw(
+        st.lists(
+            st.lists(st.integers(0, n - 1), min_size=n, max_size=n),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    start = draw(st.integers(0, n - 1))
+    accepting = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return Dfa(np.asarray(table, dtype=np.int32), start, accepting)
+
+
+@st.composite
+def dfa_word_partition(draw, max_len=100):
+    dfa = draw(dfas())
+    word = draw(
+        st.lists(st.integers(0, dfa.alphabet_size - 1), min_size=0, max_size=max_len)
+    )
+    labels = draw(
+        st.lists(st.integers(0, 3), min_size=dfa.num_states, max_size=dfa.num_states)
+    )
+    return dfa, np.asarray(word, dtype=np.int64), StatePartition.from_labels(labels)
+
+
+def assert_functions_equal(a, b):
+    assert len(a.outcomes) == len(b.outcomes)
+    for oa, ob in zip(a.outcomes, b.outcomes):
+        assert oa.converged == ob.converged
+        assert oa.state == ob.state
+        assert oa.states.dtype == ob.states.dtype == np.int64
+        assert np.array_equal(oa.states, ob.states)
+
+
+class TestBackendEquivalence:
+    @given(dfa_word_partition(), st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_kernels_match_python_per_segment(self, dwp, n_segments):
+        dfa, word, partition = dwp
+        bounds = even_boundaries(word.size, n_segments)
+        segments = [word[a:b] for a, b in bounds]
+        reference = [run_segment(dfa, partition, s)[0] for s in segments]
+        for backend in KERNEL_BACKENDS:
+            functions = run_segments_batch(dfa, partition, segments, backend)
+            for ref, fn in zip(reference, functions):
+                assert_functions_equal(ref, fn)
+
+    @given(dfa_word_partition(), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_scan_matches_oracle_all_backends(self, dwp, n_segments):
+        dfa, word, partition = dwp
+        want = dfa.run(word)
+        for backend in ("python", "lockstep", "bitset", "auto"):
+            run = software_cse_scan(
+                dfa, word, partition, n_segments=n_segments, backend=backend
+            )
+            assert run.final_state == want
+
+    @given(dfas(min_states=1, max_states=1), st.lists(st.integers(0, 0), max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_single_state_dfa(self, dfa, word):
+        word = np.asarray(word, dtype=np.int64)
+        partition = StatePartition.trivial(1)
+        reference = run_segment(dfa, partition, word)[0]
+        for backend in KERNEL_BACKENDS:
+            fn = run_segments_batch(dfa, partition, [word], backend)[0]
+            assert_functions_equal(reference, fn)
+
+    @given(dfas())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_segments(self, dfa):
+        partition = StatePartition.discrete(dfa.num_states)
+        empty = np.empty(0, dtype=np.int64)
+        reference = run_segment(dfa, partition, empty)[0]
+        for backend in KERNEL_BACKENDS:
+            fn = run_segments_batch(dfa, partition, [empty, empty], backend)[0]
+            assert_functions_equal(reference, fn)
+
+    @given(st.integers(2, 10), st.lists(st.integers(0, 1), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_all_dead_sink(self, n, word):
+        """Symbol 0 sends everything to the sink; symbol 1 is identity."""
+        sink = n - 1
+        table = np.stack(
+            [np.full(n, sink, dtype=np.int32), np.arange(n, dtype=np.int32)]
+        )
+        dfa = Dfa(table, 0, [sink])
+        word_arr = np.asarray(word, dtype=np.int64)
+        partition = StatePartition.trivial(n)
+        reference = run_segment(dfa, partition, word_arr)[0]
+        for backend in KERNEL_BACKENDS:
+            fn = run_segments_batch(dfa, partition, [word_arr], backend)[0]
+            assert_functions_equal(reference, fn)
+        if word.count(0):
+            assert reference.outcomes[0].converged
+            assert reference.outcomes[0].state == sink
+
+
+class TestBitsetVsReference:
+    @given(dfa_word_partition(max_len=60))
+    @settings(max_examples=40, deadline=None)
+    def test_bitset_step_matches_frozenset_machine(self, dwp):
+        dfa, word, partition = dwp
+        tables = BitsetTables(dfa)
+        reference = PySetAutomaton(dfa)
+        for block in partition.block_arrays():
+            want, _ = reference.run_set(block.tolist(), word)
+            mask = tables.mask_from_states(block)
+            for sym in word.tolist():
+                mask = tables.step_masks(mask[None, :], np.asarray([sym]))[0][0]
+            got = tables.states_from_mask(mask)
+            assert set(got.tolist()) == set(want)

@@ -127,3 +127,54 @@ class TestFleetScanner:
         big_fleet = FleetScanner(dfas, n_segments=2)
         data = TEXT * 5
         assert big_fleet.scan(data).cycles >= small_fleet.scan(data).cycles
+
+
+class TestStreamScannerBackends:
+    @pytest.mark.parametrize("backend", ["python", "lockstep", "bitset", "auto"])
+    def test_backend_equals_reference(self, dfa, backend):
+        reference = StreamScanner(dfa)
+        scanner = StreamScanner(dfa, backend=backend, min_parallel_chunk=256)
+        data = TEXT * 20
+        for i in range(0, len(data), 700):
+            reference.feed(data[i:i + 700])
+            scanner.feed(data[i:i + 700])
+        assert scanner.finish() == reference.finish()
+        assert scanner.backend in ("python", "lockstep", "bitset")
+
+    def test_resolved_via_shared_helper(self, dfa):
+        from repro.kernels import resolve_backend
+
+        partition = StatePartition.trivial(dfa.num_states)
+        scanner = StreamScanner(dfa, backend="auto", partition=partition)
+        assert scanner.backend == resolve_backend(dfa, "auto", partition, 8)
+
+    def test_short_chunks_stay_sequential(self, dfa):
+        scanner = StreamScanner(dfa, backend="lockstep", min_parallel_chunk=10_000)
+        scanner.feed(TEXT)
+        assert scanner.state == dfa.run(TEXT)
+
+    def test_unknown_backend_rejected(self, dfa):
+        with pytest.raises(ValueError):
+            StreamScanner(dfa, backend="simd")
+
+
+class TestFleetWallclock:
+    def test_scan_wallclock(self):
+        dfas = [compile_ruleset(["cat"]), compile_ruleset(["dog"])]
+        fleet = FleetScanner(dfas, n_segments=4)
+        assert len(fleet.backends) == 2
+        result = fleet.scan_wallclock(TEXT * 10)
+        expected = [d.run(TEXT * 10) for d in dfas]
+        assert [r.final_state for r in result.runs] == expected
+        assert result.critical_path_seconds > 0
+        assert result.critical_path_seconds <= result.elapsed_seconds
+        assert result.work_speedup > 0
+
+    def test_backends_resolved_per_fsm(self):
+        from repro.kernels import BACKENDS
+
+        dfas = [compile_ruleset(["cat"]), compile_ruleset(["dog"])]
+        fleet = FleetScanner(dfas, backend="lockstep", n_segments=4)
+        assert fleet.backends == ["lockstep", "lockstep"]
+        auto = FleetScanner(dfas, n_segments=4)
+        assert all(b in BACKENDS for b in auto.backends)
