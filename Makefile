@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-kernels report examples clean golden
+.PHONY: install test test-fast bench bench-kernels check-overhead report \
+        examples clean golden
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +20,10 @@ bench:
 # smoke mode: seconds, no 5x acceptance gate; drop --smoke for the real run
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernels.py --smoke
+
+# instrumented vs no-op scan on the bench smoke config; fails above 10%
+check-overhead:
+	$(PYTHON) benchmarks/check_overhead.py --out obs_metrics.json
 
 report:
 	$(PYTHON) benchmarks/generate_report.py

@@ -22,10 +22,14 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import sys
 import time
 from typing import Dict, List
 
 import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from env_info import env_info  # noqa: E402 — benchmarks/ sibling module
 
 from repro.automata.builders import cycle_dfa, random_dfa
 from repro.core.partition import StatePartition
@@ -153,6 +157,7 @@ def main(argv=None) -> int:
             "benchmark": "software kernel backends vs interpreted run_segment",
             "smoke": bool(args.smoke),
             "acceptance_gate": "lockstep or bitset >= 5x on random64/discrete",
+            "env": env_info(),
             "results": results,
         },
         indent=2,

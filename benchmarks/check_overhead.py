@@ -1,0 +1,125 @@
+"""Instrumentation-overhead smoke check: instrumented vs no-op scans.
+
+The observability layer promises that *disabled* instrumentation is
+near-free and *enabled* instrumentation stays within a small overhead
+budget (all in-tree call sites record at per-segment / per-chunk
+granularity, never per symbol).  This script enforces both on the bench
+smoke configuration (the 64-state random DFA of ``bench_kernels.py``):
+
+1. run ``software_cse_scan`` with the recorder disabled (no-op path),
+2. run it with a live registry installed,
+3. compare best-of-``--repeats`` wall times and fail when the enabled
+   run costs more than ``--budget`` (default 10%) over the no-op run,
+4. assert the functional outputs are identical either way,
+5. write the instrumented run's metrics snapshot to ``--out`` so CI can
+   upload it as a workflow artifact.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/check_overhead.py --out obs_metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from env_info import env_info  # noqa: E402 — benchmarks/ sibling module
+
+from repro import obs
+from repro.automata.builders import random_dfa
+from repro.core.partition import StatePartition
+from repro.software import software_cse_scan
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=200_000,
+                        help="input symbols (bench smoke scale)")
+    parser.add_argument("--segments", type=int, default=16)
+    parser.add_argument("--backend", default="lockstep")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--budget", type=float, default=0.10,
+                        help="max allowed relative overhead (0.10 = 10%%)")
+    parser.add_argument("--out", default=None,
+                        help="write the instrumented metrics snapshot here")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(20180623)
+    dfa = random_dfa(64, 16, rng)
+    partition = StatePartition.discrete(64)
+    word = rng.integers(0, 16, size=args.size)
+
+    def scan():
+        return software_cse_scan(
+            dfa, word, partition, n_segments=args.segments,
+            backend=args.backend, verify=False,
+        )
+
+    obs.disable()
+    baseline_run = scan()
+    noop_seconds = best_of(scan, args.repeats)
+
+    registry = obs.MetricRegistry()
+
+    def instrumented():
+        registry.clear()
+        with obs.using(registry):
+            return scan()
+
+    with obs.using(obs.MetricRegistry()):
+        instrumented_check = scan()
+    instrumented_seconds = best_of(instrumented, args.repeats)
+
+    if baseline_run.final_state != instrumented_check.final_state:
+        raise SystemExit("instrumented scan diverged from the no-op scan")
+
+    overhead = instrumented_seconds / noop_seconds - 1.0
+    print(f"no-op:        {noop_seconds * 1e3:8.2f} ms (best of {args.repeats})")
+    print(f"instrumented: {instrumented_seconds * 1e3:8.2f} ms "
+          f"(best of {args.repeats})")
+    print(f"overhead:     {overhead:+.2%} (budget {args.budget:.0%})")
+
+    if args.out:
+        snapshot = registry.snapshot()
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(
+            {
+                "check": "instrumentation overhead smoke",
+                "env": env_info(),
+                "noop_seconds": noop_seconds,
+                "instrumented_seconds": instrumented_seconds,
+                "overhead": overhead,
+                "budget": args.budget,
+                "metrics": snapshot["metrics"],
+                "spans": snapshot["spans"],
+            },
+            indent=2,
+        ) + "\n")
+        print(f"wrote {out}")
+
+    if overhead > args.budget:
+        raise SystemExit(
+            f"instrumentation overhead {overhead:.2%} exceeds the "
+            f"{args.budget:.0%} budget"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Environment provenance for BENCH_*.json artifacts.
+
+Benchmark numbers without the machine behind them are unreproducible;
+every benchmark writer stamps its JSON artifact with :func:`env_info` so
+a reader can tell a laptop-core figure from a CI-runner figure without
+digging through workflow logs.
+
+Dependency-free by design (stdlib + numpy, both already required).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict
+
+
+def env_info() -> Dict:
+    """Provenance dict stamped into benchmark artifacts."""
+    import numpy as np
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(env_info(), indent=2))

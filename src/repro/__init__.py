@@ -46,6 +46,7 @@ from repro.core import (
     recover_reports,
 )
 from repro.stream import FleetScanner, StreamScanner
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -77,5 +78,6 @@ __all__ = [
     "recover_reports",
     "StreamScanner",
     "FleetScanner",
+    "obs",
     "__version__",
 ]

@@ -14,7 +14,14 @@ Mirrors the paper's deployment workflow:
 - ``repro plan``     — pick the best half-core allocation for a ruleset
   using the closed-form performance model;
 - ``repro software`` — measured wall-clock software CSE scan with a
-  selectable execution kernel (python/lockstep/bitset).
+  selectable execution kernel (python/lockstep/bitset);
+- ``repro stats``    — pretty-print a metrics snapshot emitted by
+  ``--metrics-out``.
+
+``repro run`` and ``repro software`` accept ``--metrics-out PATH`` /
+``--trace-out PATH`` to capture runtime telemetry (:mod:`repro.obs`):
+a metrics snapshot (JSON, JSON-lines, or Prometheus text by suffix) and
+a Chrome trace-event file loadable in Perfetto.
 
 Examples::
 
@@ -23,6 +30,9 @@ Examples::
     python -m repro.cli run rules.txt input.bin --engine cse --segments 16
     python -m repro.cli suite --benchmark Snort
     python -m repro.cli figures fig12
+    python -m repro.cli software rules.txt input.bin --metrics-out m.json \\
+        --trace-out t.json
+    python -m repro.cli stats m.json
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.analysis.report import render_grouped, render_series, render_table
 from repro.core.engine import CseEngine
 from repro.core.profiling import ProfilingConfig, merge_to_cutoff, profile_partitions
@@ -107,14 +118,37 @@ def _make_engine(name: str, dfa, args, partition=None):
     raise SystemExit(f"unknown engine {name!r}")
 
 
+def _obs_begin(args) -> None:
+    """Install a fresh registry when the command asked for telemetry."""
+    if getattr(args, "metrics_out", None) or getattr(args, "trace_out", None):
+        obs.enable()
+
+
+def _obs_finish(args) -> None:
+    """Export and tear down the registry installed by :func:`_obs_begin`."""
+    registry = obs.active()
+    if registry is None:
+        return
+    snapshot = registry.snapshot()
+    if args.metrics_out:
+        path = obs.write_metrics(snapshot, args.metrics_out)
+        print(f"metrics: {len(snapshot['metrics'])} series -> {path}")
+    if args.trace_out:
+        path = obs.write_trace(snapshot, args.trace_out)
+        print(f"trace: {len(snapshot['spans'])} spans -> {path}")
+    obs.disable()
+
+
 def _run(args) -> int:
     rules = _read_rules(args.rules)
     dfa = compile_ruleset(rules)
     data = Path(args.input).read_bytes()
     partition = load_partition(args.partition) if args.partition else None
     engine = _make_engine(args.engine, dfa, args, partition)
+    _obs_begin(args)
     result = engine.run(data)
     baseline = SequentialEngine(dfa).run(data)
+    _obs_finish(args)
     if result.final_state != baseline.final_state:
         raise SystemExit("engine diverged from the sequential oracle")
     print(f"engine: {engine.name}")
@@ -252,7 +286,6 @@ def _software(args) -> int:
 
     from repro.core.profiling import predict_convergence_sets
     from repro.core.partition import StatePartition
-    from repro.kernels import resolve_backend
     from repro.software import segment_pool, software_cse_scan
 
     rules = _read_rules(args.rules)
@@ -271,18 +304,21 @@ def _software(args) -> int:
             ),
             cutoff=args.cutoff,
         ).partition
-    backend = resolve_backend(dfa, args.backend, partition, args.segments)
+    _obs_begin(args)
     if args.processes:
         with segment_pool(dfa, args.processes) as executor:
             run = software_cse_scan(
                 dfa, data, partition, n_segments=args.segments,
-                executor=executor, backend=backend,
+                executor=executor, backend=args.backend,
             )
     else:
         run = software_cse_scan(
-            dfa, data, partition, n_segments=args.segments, backend=backend,
+            dfa, data, partition, n_segments=args.segments,
+            backend=args.backend,
         )
-    print(f"backend: {run.backend}  convergence sets: {partition.num_blocks}")
+    _obs_finish(args)
+    print(f"backend: {run.backend} (requested: {run.requested_backend})  "
+          f"convergence sets: {partition.num_blocks}")
     print(f"input: {run.n_symbols} symbols in {run.n_segments} segments")
     print(f"final state: {run.final_state}")
     print(f"sequential: {run.sequential_seconds * 1e3:.2f} ms")
@@ -290,6 +326,48 @@ def _software(args) -> int:
     print(f"elapsed: {run.elapsed_seconds * 1e3:.2f} ms")
     print(f"work speedup: {run.work_speedup:.2f}x of ideal {run.n_segments}x "
           f"(re-executed {run.reexec_segments})")
+    return 0
+
+
+def _stats(args) -> int:
+    snapshot = obs.load_snapshot(args.snapshot)
+    if args.format == "prom":
+        print(obs.prometheus_text(snapshot), end="")
+        return 0
+    if args.format == "json":
+        print(obs.to_json(snapshot), end="")
+        return 0
+    rows = []
+    for m in snapshot.get("metrics", []):
+        labels = ",".join(f"{k}={v}" for k, v in sorted(m["labels"].items()))
+        if m["kind"] == "histogram":
+            count = m["count"]
+            mean = m["sum"] / count if count else 0.0
+            value = (f"count={count} sum={m['sum']:.6g} mean={mean:.6g} "
+                     f"min={m['min']} max={m['max']}")
+        else:
+            value = f"{m['value']:g}"
+        rows.append({
+            "metric": m["name"],
+            "kind": m["kind"],
+            "labels": labels or "-",
+            "value": value,
+        })
+    if rows:
+        print(render_table(rows))
+    else:
+        print("no metrics in snapshot")
+    spans = snapshot.get("spans", [])
+    if spans:
+        by_name = {}
+        for s in spans:
+            entry = by_name.setdefault(s["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += s["duration"]
+        print(f"\nspans ({len(spans)} events):")
+        for name in sorted(by_name):
+            count, total = by_name[name]
+            print(f"  {name:<24} n={count:<5d} total {total * 1e3:.2f} ms")
     return 0
 
 
@@ -330,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--partition", help="partition JSON from `profile -o`")
     p_run.add_argument("--reports", type=int, default=0,
                        help="print up to N report events")
+    p_run.add_argument("--metrics-out",
+                       help="write a metrics snapshot here "
+                            "(.json/.jsonl/.prom by suffix)")
+    p_run.add_argument("--trace-out",
+                       help="write a Chrome trace-event file here (Perfetto)")
     p_run.set_defaults(func=_run)
 
     p_suite = sub.add_parser("suite", help="run Table-I benchmarks")
@@ -362,7 +445,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--cutoff", type=float, default=0.99)
     p_sw.add_argument("--symbol-low", type=int, default=0)
     p_sw.add_argument("--symbol-high", type=int, default=255)
+    p_sw.add_argument("--metrics-out",
+                      help="write a metrics snapshot here "
+                           "(.json/.jsonl/.prom by suffix)")
+    p_sw.add_argument("--trace-out",
+                      help="write a Chrome trace-event file here (Perfetto)")
     p_sw.set_defaults(func=_software)
+
+    p_stats = sub.add_parser("stats", help="pretty-print a metrics snapshot")
+    p_stats.add_argument("snapshot", help="file from --metrics-out "
+                                          "(JSON or JSON-lines)")
+    p_stats.add_argument("--format", default="table",
+                         choices=["table", "prom", "json"])
+    p_stats.set_defaults(func=_stats)
 
     p_plan = sub.add_parser("plan", help="recommend a half-core allocation")
     p_plan.add_argument("rules")

@@ -10,12 +10,15 @@ harness compares engines purely through these records.
 from __future__ import annotations
 
 import abc
+import functools
 import statistics
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.automata.dfa import Dfa, as_symbols
 from repro.hardware.ap import APConfig
 from repro.hardware.cost import parallel_cycles, throughput_symbols_per_sec
@@ -155,6 +158,53 @@ class RunResult:
         return statistics.fmean(self.rt_values())
 
 
+def _instrument_run(run):
+    """Wrap an engine's ``run`` with a span + counters when obs is on.
+
+    Applied automatically to every concrete override via
+    :meth:`Engine.__init_subclass__`, so individual engines stay
+    telemetry-free.  Engines that delegate to an inherited ``run``
+    (e.g. adaptive calling ``super().run``) are guarded against double
+    counting with a per-instance reentrancy flag.
+    """
+
+    @functools.wraps(run)
+    def wrapper(self, symbols, start_state=None):
+        if not obs.is_enabled() or getattr(self, "_obs_in_run", False):
+            return run(self, symbols, start_state)
+        self._obs_in_run = True
+        wall = time.time()
+        begin = time.perf_counter()
+        try:
+            result = run(self, symbols, start_state)
+        finally:
+            self._obs_in_run = False
+        duration = time.perf_counter() - begin
+        name = self.name
+        obs.record_span("engine.run", wall, duration, engine=name,
+                        n_symbols=result.n_symbols, cycles=result.cycles)
+        obs.counter("engine_runs_total", engine=name).inc()
+        obs.counter("engine_symbols_total", engine=name).inc(result.n_symbols)
+        obs.counter("engine_cycles_total", engine=name).inc(result.cycles)
+        obs.counter("engine_reexec_segments_total", engine=name).inc(
+            result.reexec_segments
+        )
+        obs.counter("engine_r0_total", engine=name).inc(
+            sum(result.r0_values())
+        )
+        obs.counter("engine_rt_total", engine=name).inc(
+            sum(result.rt_values())
+        )
+        obs.counter("engine_diverged_segments_total", engine=name).inc(
+            sum(1 for s in result.segments[1:] if s.rt > 1)
+        )
+        obs.histogram("engine_run_seconds", engine=name).observe(duration)
+        return result
+
+    wrapper.__obs_wrapped__ = True
+    return wrapper
+
+
 class Engine(abc.ABC):
     """A parallel FSM execution design under the AP cost model.
 
@@ -193,6 +243,12 @@ class Engine(abc.ABC):
         self.n_segments = n_segments
         self.cores_per_segment = cores_per_segment
         self.config = config or APConfig()
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(run, "__obs_wrapped__", False):
+            cls.run = _instrument_run(run)
 
     @property
     def name(self) -> str:

@@ -25,10 +25,12 @@ diverged sets the same sorted-unique int64 state array.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.automata.dfa import Dfa, as_symbols
 from repro.core.partition import StatePartition
 from repro.core.transition import CsOutcome, SegmentFunction
@@ -69,6 +71,8 @@ def resolve_backend(
     one-hot step).
     """
     if backend in BACKENDS:
+        obs.counter("kernels_backend_resolved_total",
+                    requested=backend, backend=backend).inc()
         return backend
     if backend not in (None, "auto"):
         raise ValueError(
@@ -80,9 +84,12 @@ def resolve_backend(
         sizes = [len(b) for b in partition.blocks]
         n_blocks, max_block = len(sizes), max(sizes)
     enum_segments = max(1, n_segments - 1)
+    chosen = "python"
     if max_block > 8 or n_blocks * enum_segments >= 48:
-        return "lockstep"
-    return "python"
+        chosen = "lockstep"
+    obs.counter("kernels_backend_resolved_total",
+                requested="auto", backend=chosen).inc()
+    return chosen
 
 
 def run_segments_batch(
@@ -105,6 +112,9 @@ def run_segments_batch(
     n_seg = len(segments)
     if n_seg == 0:
         return []
+    batch_wall = time.time()
+    batch_begin = time.perf_counter()
+    n_collapsed = 0
     labels = partition.labels()
     blocks = partition.block_arrays()
     n_states = dfa.num_states
@@ -139,17 +149,21 @@ def run_segments_batch(
         col_off = offsets[:, t]
         pool.step(col_off)
         if backend == "bitset":
-            pool.absorb(flows.step(matrix[:, t]))
+            collapsed = flows.step(matrix[:, t])
         else:
-            pool.absorb(flows.step(col_off))
+            collapsed = flows.step(col_off)
+        n_collapsed += len(collapsed)
+        pool.absorb(collapsed)
     for t in range(length_min, length_max):
         seg_active = lengths > t
         col_off = offsets[:, t]
         pool.step(col_off, seg_active)
         if backend == "bitset":
-            pool.absorb(flows.step(matrix[:, t], seg_active))
+            collapsed = flows.step(matrix[:, t], seg_active)
         else:
-            pool.absorb(flows.step(col_off, seg_active))
+            collapsed = flows.step(col_off, seg_active)
+        n_collapsed += len(collapsed)
+        pool.absorb(collapsed)
 
     grid: List[List[Optional[CsOutcome]]] = [
         [None] * len(blocks) for _ in range(n_seg)
@@ -163,4 +177,16 @@ def run_segments_batch(
     for states, seg, blk in flows.final_outcomes():
         grid[seg][blk] = CsOutcome(False, None, states.astype(np.int64))
     assert all(o is not None for outcomes in grid for o in outcomes)
+    if obs.is_enabled():
+        obs.record_span("kernels.batch", batch_wall,
+                        time.perf_counter() - batch_begin,
+                        backend=backend, segments=n_seg)
+        obs.counter("kernels_batch_runs_total", backend=backend).inc()
+        obs.counter("kernels_segments_total", backend=backend).inc(n_seg)
+        obs.counter("kernels_positions_total", backend=backend).inc(length_max)
+        obs.counter("kernels_collapses_total", backend=backend).inc(n_collapsed)
+        if backend == "bitset":
+            # a bitset collapse is exactly a bitset→lockstep degradation:
+            # the flow leaves the packed pool for the scalar gather pool
+            obs.counter("kernels_bitset_degradations_total").inc(n_collapsed)
     return [SegmentFunction(list(outcomes), labels) for outcomes in grid]

@@ -1,0 +1,85 @@
+"""Runtime observability: counters, histograms, spans, exporters.
+
+A dependency-free telemetry layer for the scanning runtime.  Call sites
+instrument through the module facade::
+
+    from repro import obs
+
+    obs.counter("software_scans_total", backend="lockstep").inc()
+    with obs.span("engine.run", engine="CSE"):
+        ...
+
+By default nothing is recorded: every helper degrades to a shared no-op
+singleton (one global load + one ``is None`` test), so instrumented code
+is near-free until someone opts in with :func:`enable` (or scoped
+:func:`using`).  Enabled, events land in a :class:`MetricRegistry` whose
+plain-dict :meth:`~MetricRegistry.snapshot` crosses process boundaries
+and merges exactly (:meth:`~MetricRegistry.merge`) — this is how
+``segment_pool`` workers report back to the parent.
+
+Exporters (:mod:`repro.obs.exporters`) render a snapshot as JSON,
+JSON-lines, Prometheus text, or Chrome trace-event JSON (Perfetto).
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    load_snapshot,
+    prometheus_text,
+    to_json,
+    to_jsonl,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.recorder import (
+    NOOP_METRIC,
+    NOOP_SPAN,
+    active,
+    counter,
+    disable,
+    enable,
+    gauge,
+    histogram,
+    is_enabled,
+    record_span,
+    span,
+    using,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    SpanEvent,
+)
+
+__all__ = [
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "SpanEvent",
+    "DEFAULT_BUCKETS",
+    # recorder
+    "enable",
+    "disable",
+    "active",
+    "is_enabled",
+    "using",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "record_span",
+    "NOOP_METRIC",
+    "NOOP_SPAN",
+    # exporters
+    "to_json",
+    "to_jsonl",
+    "prometheus_text",
+    "chrome_trace",
+    "write_metrics",
+    "write_trace",
+    "load_snapshot",
+]

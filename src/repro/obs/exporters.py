@@ -1,0 +1,162 @@
+"""Registry snapshot exporters: JSON, JSON-lines, Prometheus, Chrome trace.
+
+All exporters consume the plain-dict form (:meth:`MetricRegistry.snapshot`)
+so they work equally on a live registry and on a snapshot that crossed a
+process boundary or was loaded back from disk.
+
+- :func:`to_json` / :func:`to_jsonl` — machine-readable metric dumps
+  (`repro stats` reads either back);
+- :func:`prometheus_text` — the Prometheus text exposition format
+  (counters get a ``_total``-style sample line, histograms cumulative
+  ``_bucket{le=...}`` series);
+- :func:`chrome_trace` — trace-event JSON with one complete (``"X"``)
+  event per span, loadable in Perfetto / ``chrome://tracing``; worker
+  spans keep their own pid so pool fan-out renders as separate tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.registry import MetricRegistry
+
+__all__ = [
+    "to_json",
+    "to_jsonl",
+    "prometheus_text",
+    "chrome_trace",
+    "write_metrics",
+    "write_trace",
+    "load_snapshot",
+]
+
+Snapshot = Dict
+
+
+def _as_snapshot(source: Union[MetricRegistry, Snapshot]) -> Snapshot:
+    return source.snapshot() if isinstance(source, MetricRegistry) else source
+
+
+def to_json(source: Union[MetricRegistry, Snapshot], indent: int = 2) -> str:
+    return json.dumps(_as_snapshot(source), indent=indent) + "\n"
+
+
+def to_jsonl(source: Union[MetricRegistry, Snapshot]) -> str:
+    """One JSON object per line: every metric, then every span."""
+    snap = _as_snapshot(source)
+    lines = [json.dumps({"record": "metric", **m}) for m in snap.get("metrics", [])]
+    lines += [json.dumps({"record": "span", **s}) for s in snap.get("spans", [])]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        '%s="%s"' % (_prom_name(k), _escape(v)) for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(source: Union[MetricRegistry, Snapshot]) -> str:
+    """Prometheus text exposition format of a snapshot (metrics only)."""
+    snap = _as_snapshot(source)
+    lines: List[str] = []
+    typed = set()
+    for m in snap.get("metrics", []):
+        name = _prom_name(m["name"])
+        kind = m["kind"]
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+        labels = m.get("labels", {})
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_prom_labels(labels)} {m['value']:g}")
+        else:  # histogram: cumulative buckets + sum + count
+            cumulative = 0
+            for bound, count in zip(m["buckets"], m["bucket_counts"]):
+                cumulative += count
+                le = 'le="%g"' % bound
+                lines.append(f"{name}_bucket{_prom_labels(labels, le)} {cumulative}")
+            inf = 'le="+Inf"'
+            lines.append(f"{name}_bucket{_prom_labels(labels, inf)} {m['count']}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} {m['sum']:g}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {m['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(source: Union[MetricRegistry, Snapshot]) -> Dict:
+    """Chrome trace-event JSON (the ``traceEvents`` container form)."""
+    snap = _as_snapshot(source)
+    events = []
+    for s in snap.get("spans", []):
+        events.append(
+            {
+                "name": s["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": s["ts"] * 1e6,  # microseconds
+                "dur": s["duration"] * 1e6,
+                "pid": s["pid"],
+                "tid": s["tid"],
+                "args": s.get("args", {}),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_metrics(source: Union[MetricRegistry, Snapshot], path) -> Path:
+    """Write a metrics snapshot; format picked from the file suffix.
+
+    ``.jsonl`` → JSON-lines, ``.prom`` / ``.txt`` → Prometheus text,
+    anything else → indented JSON snapshot.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".jsonl":
+        path.write_text(to_jsonl(source))
+    elif suffix in (".prom", ".txt"):
+        path.write_text(prometheus_text(source))
+    else:
+        path.write_text(to_json(source))
+    return path
+
+
+def write_trace(source: Union[MetricRegistry, Snapshot], path) -> Path:
+    """Write the Chrome trace-event file (open in Perfetto)."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(source), indent=2) + "\n")
+    return path
+
+
+def load_snapshot(path) -> Snapshot:
+    """Read back a snapshot written as JSON or JSON-lines."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"record"' not in stripped.splitlines()[0]:
+        return json.loads(text)
+    metrics, spans = [], []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        record = obj.pop("record", "metric")
+        (spans if record == "span" else metrics).append(obj)
+    return {"metrics": metrics, "spans": spans}

@@ -1,0 +1,167 @@
+"""The process-global recorder: enabled registry or near-free no-ops.
+
+Instrumented call sites always go through the module-level helpers
+(:func:`counter`, :func:`gauge`, :func:`histogram`, :func:`span`,
+:func:`record_span`).  When no registry is installed — the default —
+every helper returns a shared no-op singleton whose methods are empty:
+the cost of a disabled instrument is one global load, one ``is None``
+test, and one empty method call, with **zero** allocation.  Hot paths
+that would pay even that per inner-loop iteration should guard whole
+blocks with :func:`is_enabled` instead (all in-tree call sites
+instrument at per-segment / per-chunk granularity, well off the
+per-symbol inner loops).
+
+:func:`enable` installs a registry process-wide; :func:`using` installs
+one for a scope (worker tasks, tests) and restores the previous recorder
+on exit.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Union
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+
+__all__ = [
+    "enable",
+    "disable",
+    "active",
+    "is_enabled",
+    "using",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "record_span",
+    "NOOP_METRIC",
+    "NOOP_SPAN",
+]
+
+_active: Optional[MetricRegistry] = None
+
+
+def enable(registry: Optional[MetricRegistry] = None) -> MetricRegistry:
+    """Install ``registry`` (or a fresh one) as the process recorder."""
+    global _active
+    _active = registry if registry is not None else MetricRegistry()
+    return _active
+
+
+def disable() -> None:
+    """Remove the process recorder; instrumentation becomes no-op."""
+    global _active
+    _active = None
+
+
+def active() -> Optional[MetricRegistry]:
+    """The installed registry, or ``None`` when observability is off."""
+    return _active
+
+
+def is_enabled() -> bool:
+    return _active is not None
+
+
+@contextmanager
+def using(registry: Optional[MetricRegistry] = None) -> Iterator[MetricRegistry]:
+    """Scoped :func:`enable`; restores the previous recorder on exit."""
+    previous = _active
+    installed = enable(registry)
+    try:
+        yield installed
+    finally:
+        enable(previous) if previous is not None else disable()
+
+
+class _NoopMetric:
+    """Counter/Gauge/Histogram stand-in whose every method is empty."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+
+NOOP_METRIC = _NoopMetric()
+
+
+def counter(name: str, **labels) -> Union[Counter, _NoopMetric]:
+    reg = _active
+    return NOOP_METRIC if reg is None else reg.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Union[Gauge, _NoopMetric]:
+    reg = _active
+    return NOOP_METRIC if reg is None else reg.gauge(name, **labels)
+
+
+def histogram(
+    name: str, buckets: Optional[Sequence[float]] = None, **labels
+) -> Union[Histogram, _NoopMetric]:
+    reg = _active
+    return NOOP_METRIC if reg is None else reg.histogram(name, buckets, **labels)
+
+
+class _NoopSpan:
+    """Reusable disabled-span singleton (no state, safe to share)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Context manager that records one :class:`SpanEvent` on exit."""
+
+    __slots__ = ("registry", "name", "args", "_wall", "_begin")
+
+    def __init__(self, registry: MetricRegistry, name: str, args: Dict):
+        self.registry = registry
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._wall = time.time()
+        self._begin = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.registry.record_span(
+            self.name,
+            self._wall,
+            time.perf_counter() - self._begin,
+            **self.args,
+        )
+        return False
+
+
+def span(name: str, **args) -> Union[_Span, _NoopSpan]:
+    """Timing scope: ``with obs.span("engine.run", engine=name): ...``.
+
+    Wall-clock start comes from ``time.time()`` (comparable across the
+    processes of a pool), duration from the monotonic ``perf_counter``.
+    """
+    reg = _active
+    return NOOP_SPAN if reg is None else _Span(reg, name, args)
+
+
+def record_span(name: str, ts: float, duration: float, **args) -> None:
+    """Record an already-measured span (attributed/batched timings)."""
+    reg = _active
+    if reg is not None:
+        reg.record_span(name, ts, duration, **args)

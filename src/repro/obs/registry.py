@@ -1,0 +1,341 @@
+"""Thread-safe metric primitives and the named registry.
+
+Three instrument kinds, modeled on the usual time-series trio:
+
+- :class:`Counter` — monotone accumulator (events, symbols, re-execs);
+- :class:`Gauge` — last-written value (per-machine throughput);
+- :class:`Histogram` — log-bucketed distribution with exact count / sum /
+  min / max (chunk latencies).
+
+All mutation goes through a per-metric lock, so engines running on a
+thread pool can share one registry.  A :class:`MetricRegistry` also
+collects :class:`SpanEvent` timing records (wall-clock start + duration,
+tagged with pid/tid) which the exporters turn into Chrome trace-event
+JSON.
+
+Cross-process aggregation works by value, not by reference: a worker
+process records into its *own* registry, ships ``registry.snapshot()``
+(a plain JSON-able dict) back over the pool's result channel, and the
+parent folds it in with :meth:`MetricRegistry.merge`.  Merging is exact —
+counters sum, histogram buckets add element-wise, spans concatenate —
+so the merged registry is indistinguishable from one that observed every
+event locally.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "SpanEvent",
+    "DEFAULT_BUCKETS",
+]
+
+#: 1-2.5-5 log ladder from 1 microsecond to 500 seconds — wide enough for
+#: both per-segment kernel timings and whole-suite spans.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    round(m * 10.0 ** e, 12) for e in range(-6, 3) for m in (1.0, 2.5, 5.0)
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical hashable form of a label set (values stringified)."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared name/labels/lock plumbing of the three instrument kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self._lock = threading.Lock()
+
+    def _base_dict(self) -> Dict:
+        return {"name": self.name, "kind": self.kind, "labels": dict(self.labels)}
+
+
+class Counter(_Metric):
+    """Monotone accumulator."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> Dict:
+        out = self._base_dict()
+        out["value"] = self.value
+        return out
+
+    def merge_dict(self, other: Dict) -> None:
+        with self._lock:
+            self.value += float(other["value"])
+
+
+class Gauge(_Metric):
+    """Last-written value; ``touched`` distinguishes 0.0 from never-set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        super().__init__(name, labels)
+        self.value = 0.0
+        self.touched = False
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self.value = float(value)
+            self.touched = True
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self.value += amount
+            self.touched = True
+
+    def to_dict(self) -> Dict:
+        out = self._base_dict()
+        out["value"] = self.value
+        out["touched"] = self.touched
+        return out
+
+    def merge_dict(self, other: Dict) -> None:
+        # by-value merge: an incoming snapshot that actually wrote the
+        # gauge wins over a local default
+        if other.get("touched"):
+            with self._lock:
+                self.value = float(other["value"])
+                self.touched = True
+
+
+class Histogram(_Metric):
+    """Log-bucketed distribution with exact count / sum / min / max.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]`` and
+    ``> buckets[i-1]``; the final slot is the overflow bucket (+Inf).
+    Counts are stored per-bucket (not cumulative); the Prometheus
+    exporter cumulates at render time.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, labels)
+        self.buckets = tuple(float(b) for b in buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        out = self._base_dict()
+        out.update(
+            buckets=list(self.buckets),
+            bucket_counts=list(self.bucket_counts),
+            count=self.count,
+            sum=self.sum,
+            min=None if self.count == 0 else self.min,
+            max=None if self.count == 0 else self.max,
+        )
+        return out
+
+    def merge_dict(self, other: Dict) -> None:
+        if list(other["buckets"]) != list(self.buckets):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        with self._lock:
+            for i, c in enumerate(other["bucket_counts"]):
+                self.bucket_counts[i] += int(c)
+            self.count += int(other["count"])
+            self.sum += float(other["sum"])
+            if other.get("min") is not None:
+                self.min = min(self.min, float(other["min"]))
+            if other.get("max") is not None:
+                self.max = max(self.max, float(other["max"]))
+
+
+@dataclass
+class SpanEvent:
+    """One completed timing span (wall-clock start, measured duration)."""
+
+    name: str
+    ts: float  #: wall-clock start, seconds since the epoch
+    duration: float  #: seconds, measured with a monotonic clock
+    pid: int
+    tid: int
+    args: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "ts": self.ts,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SpanEvent":
+        return cls(
+            name=data["name"],
+            ts=float(data["ts"]),
+            duration=float(data["duration"]),
+            pid=int(data["pid"]),
+            tid=int(data["tid"]),
+            args=dict(data.get("args", {})),
+        )
+
+
+class MetricRegistry:
+    """A named collection of metrics plus a span buffer.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call with a (name, labels) pair mints the instrument, later calls
+    return the same object, so call sites never pre-declare.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelKey], _Metric] = {}
+        self.spans: List[SpanEvent] = []
+
+    # ------------------------------------------------------------------
+    # instrument factories
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, labels: Dict, **kwargs) -> _Metric:
+        key = (name, label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, {k: str(v) for k, v in labels.items()}, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        if buckets is None:
+            return self._get_or_create(Histogram, name, labels)
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def get(self, name: str, **labels) -> Optional[_Metric]:
+        """Look up an instrument without creating it."""
+        return self._metrics.get((name, label_key(labels)))
+
+    def metrics(self) -> List[_Metric]:
+        """All instruments, ordered by (name, labels)."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def record_span(
+        self,
+        name: str,
+        ts: float,
+        duration: float,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+        **args,
+    ) -> SpanEvent:
+        event = SpanEvent(
+            name=name,
+            ts=float(ts),
+            duration=float(duration),
+            pid=os.getpid() if pid is None else int(pid),
+            tid=threading.get_ident() if tid is None else int(tid),
+            args=args,
+        )
+        with self._lock:
+            self.spans.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # snapshot / merge — the cross-process transport
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Plain JSON-able dict of every metric and span."""
+        return {
+            "metrics": [m.to_dict() for m in self.metrics()],
+            "spans": [s.to_dict() for s in list(self.spans)],
+        }
+
+    def merge(self, other: Union["MetricRegistry", Dict]) -> None:
+        """Fold another registry (or its snapshot) into this one, exactly."""
+        snap = other.snapshot() if isinstance(other, MetricRegistry) else other
+        kind_to_cls = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for entry in snap.get("metrics", []):
+            cls = kind_to_cls[entry["kind"]]
+            kwargs = (
+                {"buckets": entry["buckets"]} if entry["kind"] == "histogram" else {}
+            )
+            metric = self._get_or_create(cls, entry["name"], entry["labels"], **kwargs)
+            metric.merge_dict(entry)
+        events = [SpanEvent.from_dict(s) for s in snap.get("spans", [])]
+        with self._lock:
+            self.spans.extend(events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+            self.spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)

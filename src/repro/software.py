@@ -48,6 +48,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.automata.dfa import Dfa, as_symbols
 from repro.core.partition import StatePartition
 from repro.core.reexec import ReexecutionStats, compose_and_fix
@@ -145,6 +146,15 @@ def run_segment(
         else:
             outcomes.append(CsOutcome(False, None, current))
     elapsed = time.perf_counter() - begin
+    if obs.is_enabled():
+        collapses = sum(
+            1 for blk, out in zip(blocks, outcomes)
+            if blk.size > 1 and out.converged
+        )
+        obs.counter("kernels_collapses_total", backend="python").inc(collapses)
+        obs.counter("kernels_positions_total", backend="python").inc(
+            len(segment_list)
+        )
     return SegmentFunction(outcomes, partition.labels()), elapsed
 
 
@@ -172,11 +182,28 @@ def _pool_init(table_bytes, shape, start, accepting) -> None:
     _WORKER_DFA = Dfa(table, start, accepting)
 
 
-def _pool_run_segment(partition, segment, backend):
+def _pool_run_segment(partition, segment, backend, collect=False, seg_index=None):
+    """Worker-side segment execution, optionally with local telemetry.
+
+    With ``collect=True`` the worker records into a registry of its own
+    and returns its snapshot alongside the result; the parent merges it
+    (:meth:`repro.obs.MetricRegistry.merge`), which is how counters and
+    spans cross the process boundary exactly.
+    """
     if _WORKER_DFA is None:
         raise RuntimeError("worker missing its DFA; build the pool "
                            "with repro.software.segment_pool")
-    return run_segment(_WORKER_DFA, partition, segment, backend=backend)
+    if not collect:
+        return run_segment(_WORKER_DFA, partition, segment, backend=backend)
+    with obs.using() as registry:
+        with obs.span("software.segment", segment=seg_index, backend=backend,
+                      worker=True):
+            function, seconds = run_segment(
+                _WORKER_DFA, partition, segment, backend=backend
+            )
+        obs.counter("software_worker_segments_total").inc()
+        obs.counter("software_worker_symbols_total").inc(int(len(segment)))
+    return function, seconds, registry.snapshot()
 
 
 def segment_pool(dfa: Dfa, max_workers: Optional[int] = None) -> ProcessPoolExecutor:
@@ -214,6 +241,9 @@ class SoftwareRun:
     elapsed_seconds: float
     reexec_segments: int
     backend: str = "python"
+    #: the backend the caller asked for ("auto"/None resolve to
+    #: :attr:`backend`); keeps the resolve_backend decision recoverable
+    requested_backend: str = "python"
 
     @property
     def critical_path_seconds(self) -> float:
@@ -261,11 +291,14 @@ def software_cse_scan(
     speculation); callers on the hot path (streaming) use it, at the price
     of ``sequential_seconds`` reading 0.
     """
+    requested = "auto" if backend in (None, "auto") else str(backend)
     backend = resolve_backend(dfa, backend, partition, n_segments)
     syms = as_symbols(symbols)
     bounds = even_boundaries(int(syms.size), n_segments)
     rows = _table_rows(dfa)
     syms_list: Optional[List[int]] = syms.tolist() if executor is None else None
+    collect = obs.is_enabled()
+    scan_wall = time.time()
     begin_all = time.perf_counter()
 
     # segment 1: concrete scan
@@ -277,6 +310,9 @@ def software_cse_scan(
         rows=rows,
         symbol_list=None if syms_list is None else syms_list[a0:b0],
     )
+    if collect:
+        obs.record_span("software.segment", scan_wall, first_seconds,
+                        segment=0, kind="concrete")
 
     enum_bounds = bounds[1:]
     if executor is not None:
@@ -286,8 +322,9 @@ def software_cse_scan(
         )
         if pooled:
             futures = [
-                executor.submit(_pool_run_segment, partition, syms[a:b], backend)
-                for a, b in enum_bounds
+                executor.submit(_pool_run_segment, partition, syms[a:b],
+                                backend, collect, i + 1)
+                for i, (a, b) in enumerate(enum_bounds)
             ]
         else:
             futures = [
@@ -295,36 +332,86 @@ def software_cse_scan(
                 for a, b in enum_bounds
             ]
         timed = [f.result() for f in futures]
-        functions = [fn for fn, _sec in timed]
-        enum_seconds = [sec for _fn, sec in timed]
+        functions = [entry[0] for entry in timed]
+        enum_seconds = [entry[1] for entry in timed]
+        if collect and pooled:
+            registry = obs.active()
+            for entry in timed:
+                registry.merge(entry[2])
+        elif collect:
+            wall = time.time()
+            for i, sec in enumerate(enum_seconds):
+                obs.record_span("software.segment", wall - sec, sec,
+                                segment=i + 1, backend=backend)
     elif backend != "python":
+        kernel_wall = time.time()
         kernel_begin = time.perf_counter()
         functions = run_segments_batch(
             dfa, partition, [syms[a:b] for a, b in enum_bounds], backend=backend
         )
         kernel_elapsed = time.perf_counter() - kernel_begin
         enum_seconds = [kernel_elapsed / max(1, len(enum_bounds))] * len(enum_bounds)
+        if collect:
+            # the batched kernel runs all segments in one pass; attribute
+            # an even share to each so the trace still shows one span per
+            # segment (flagged as attributed, not individually measured)
+            for i, sec in enumerate(enum_seconds):
+                obs.record_span("software.segment", kernel_wall, sec,
+                                segment=i + 1, backend=backend,
+                                attributed=True)
     else:
-        timed = [
-            run_segment(
+        timed = []
+        for i, (a, b) in enumerate(enum_bounds):
+            seg_wall = time.time()
+            function, sec = run_segment(
                 dfa,
                 partition,
                 syms[a:b],
                 rows=rows,
                 segment_list=syms_list[a:b],
             )
-            for a, b in enum_bounds
-        ]
+            timed.append((function, sec))
+            if collect:
+                obs.record_span("software.segment", seg_wall, sec,
+                                segment=i + 1, backend=backend)
         functions = [fn for fn, _sec in timed]
         enum_seconds = [sec for _fn, sec in timed]
     segment_seconds = [first_seconds] + enum_seconds
 
+    repair_wall = time.time()
     repair_begin = time.perf_counter()
     final, stats = compose_and_fix(
         dfa, syms, enum_bounds, functions, first_final, policy=policy
     )
     repair_seconds = time.perf_counter() - repair_begin
     elapsed = time.perf_counter() - begin_all
+
+    if collect:
+        obs.record_span("software.repair", repair_wall, repair_seconds,
+                        policy=policy,
+                        reexecuted=len(stats.reexecuted_segments))
+        obs.record_span("software.scan", scan_wall, elapsed,
+                        backend=backend, n_segments=n_segments,
+                        n_symbols=int(syms.size))
+        obs.counter("software_scans_total", backend=backend).inc()
+        obs.counter("software_symbols_total").inc(int(syms.size))
+        # pre-create one re-exec counter per enumerative segment so a
+        # clean scan still exports the full per-segment series at 0
+        for i in range(len(enum_bounds)):
+            obs.counter("software_segment_reexec_total", segment=i + 1)
+        for i in stats.reexecuted_segments:
+            obs.counter("software_segment_reexec_total", segment=i + 1).inc()
+        reexecuted = set(stats.reexecuted_segments)
+        obs.counter("software_reexec_segments_total").inc(len(reexecuted))
+        obs.counter("software_speculation_hits_total").inc(
+            len(enum_bounds) - len(reexecuted)
+        )
+        obs.counter("software_speculation_misses_total").inc(len(reexecuted))
+        obs.counter("software_reeval_passes_total").inc(stats.reeval_passes)
+        obs.counter("software_diverged_segments_total").inc(
+            stats.diverged_segments
+        )
+        obs.histogram("software_scan_seconds", backend=backend).observe(elapsed)
 
     sequential_seconds = 0.0
     if verify:
@@ -343,4 +430,5 @@ def software_cse_scan(
         elapsed_seconds=elapsed,
         reexec_segments=len(stats.reexecuted_segments),
         backend=backend,
+        requested_backend=requested,
     )

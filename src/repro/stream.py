@@ -18,11 +18,13 @@ would emit, no more, no fewer.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.automata.dfa import Dfa, as_symbols
 from repro.core.engine import CseEngine
 from repro.core.partition import StatePartition
@@ -89,6 +91,22 @@ class StreamScanner:
 
         Report offsets are global stream offsets.
         """
+        if not obs.is_enabled():
+            return self._feed(chunk)
+        wall = time.time()
+        begin = time.perf_counter()
+        reports = self._feed(chunk)
+        duration = time.perf_counter() - begin
+        n = int(as_symbols(chunk).size)
+        obs.record_span("stream.feed", wall, duration,
+                        n_symbols=n, backend=self.backend)
+        obs.counter("stream_chunks_total").inc()
+        obs.counter("stream_symbols_total").inc(n)
+        obs.counter("stream_reports_total").inc(len(reports))
+        obs.histogram("stream_chunk_seconds").observe(duration)
+        return reports
+
+    def _feed(self, chunk) -> List[Tuple[int, int]]:
         syms = as_symbols(chunk)
         if syms.size == 0:
             return []
@@ -203,6 +221,9 @@ class FleetScanner:
         syms = as_symbols(symbols)
         per_fsm_cycles: List[int] = []
         reports: Dict[int, List[Tuple[int, int]]] = {}
+        collect = obs.is_enabled()
+        wall = time.time()
+        begin = time.perf_counter()
         for idx, engine in enumerate(self.engines):
             run = engine.run(syms)
             sequential = SequentialEngine(engine.dfa, config=self.config).run(syms)
@@ -210,11 +231,24 @@ class FleetScanner:
                 raise AssertionError(f"fleet FSM {idx} diverged from oracle")
             reports[idx] = sequential.reports or []
             per_fsm_cycles.append(run.cycles)
+            if collect:
+                obs.gauge("fleet_machine_throughput", fsm=idx).set(
+                    throughput_symbols_per_sec(
+                        int(syms.size), run.cycles, self.config
+                    )
+                )
+                obs.counter("fleet_machine_reports_total", fsm=idx).inc(
+                    len(reports[idx])
+                )
         # machines run `concurrency` at a time; rounds are serialized
         per_fsm_cycles.sort(reverse=True)
         cycles = 0
         for round_start in range(0, len(per_fsm_cycles), self.concurrency):
             cycles += per_fsm_cycles[round_start]  # slowest of the round
+        if collect:
+            obs.record_span("fleet.scan", wall, time.perf_counter() - begin,
+                            n_fsms=len(self.engines), n_symbols=int(syms.size))
+            obs.counter("fleet_scans_total").inc()
         return FleetResult(
             n_fsms=len(self.engines),
             n_symbols=int(syms.size),
@@ -234,16 +268,26 @@ class FleetScanner:
 
         syms = as_symbols(symbols)
         runs = []
-        for engine, backend in zip(self.engines, self.backends):
-            runs.append(
-                software_cse_scan(
-                    engine.dfa,
-                    syms,
-                    engine.partition,
-                    n_segments=self.n_segments,
-                    backend=backend,
-                )
+        collect = obs.is_enabled()
+        wall = time.time()
+        begin = time.perf_counter()
+        for idx, (engine, backend) in enumerate(zip(self.engines, self.backends)):
+            run = software_cse_scan(
+                engine.dfa,
+                syms,
+                engine.partition,
+                n_segments=self.n_segments,
+                backend=backend,
             )
+            runs.append(run)
+            if collect and run.elapsed_seconds > 0:
+                obs.gauge("fleet_machine_wallclock_throughput", fsm=idx).set(
+                    run.n_symbols / run.elapsed_seconds
+                )
+        if collect:
+            obs.record_span("fleet.scan_wallclock", wall,
+                            time.perf_counter() - begin,
+                            n_fsms=len(self.engines), n_symbols=int(syms.size))
         return FleetWallclock(runs=runs)
 
 
