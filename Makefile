@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-kernels check-overhead report \
-        examples clean golden
+.PHONY: install test test-fast bench bench-kernels bench-cache \
+        check-overhead report examples clean golden
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,6 +20,11 @@ bench:
 # smoke mode: seconds, no 5x acceptance gate; drop --smoke for the real run
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernels.py --smoke
+
+# compilation cache cold/warm latency + profiler vectorization; smoke mode
+# skips the >=5x cold/warm and >=3x profiler acceptance gates
+bench-cache:
+	$(PYTHON) benchmarks/bench_cache.py --smoke
 
 # instrumented vs no-op scan on the bench smoke config; fails above 10%
 check-overhead:

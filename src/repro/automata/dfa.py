@@ -14,6 +14,7 @@ onto this range. States are ``0 .. num_states-1``.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,7 +51,8 @@ class Dfa:
         Iterable of accepting/reporting state ids.
     """
 
-    __slots__ = ("transitions", "start", "accepting", "accepting_mask")
+    __slots__ = ("transitions", "start", "accepting", "accepting_mask",
+                 "_fingerprint")
 
     def __init__(self, transitions, start: int, accepting: Iterable[int]):
         table = np.ascontiguousarray(transitions, dtype=np.int32)
@@ -76,6 +78,7 @@ class Dfa:
         if acc:
             mask[sorted(acc)] = True
         self.accepting_mask = mask
+        self._fingerprint: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -110,6 +113,28 @@ class Dfa:
         return hash(
             (self.start, self.accepting, self.transitions.shape, self.transitions.tobytes())
         )
+
+    @property
+    def fingerprint(self) -> Tuple:
+        """A stable content identity for this machine.
+
+        Covers the transition table bytes *and dtype* (identical bytes under
+        different dtypes are different tables), the shape, the start state
+        and the accepting set.  Computed once and memoized — this is the
+        cache key every layer shares (pool matching in
+        :func:`repro.software.segment_pool`, compilation-cache addressing in
+        :mod:`repro.compilecache`) instead of re-hashing the table per use.
+        """
+        if self._fingerprint is None:
+            table = self.transitions
+            self._fingerprint = (
+                table.shape,
+                str(table.dtype),
+                self.start,
+                tuple(sorted(self.accepting)),
+                hashlib.sha1(table.tobytes()).hexdigest(),
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # execution

@@ -106,6 +106,11 @@ def _make_engine(name: str, dfa, args, partition=None):
     if name == "cse":
         if partition is not None:
             return CseEngine(dfa, partition=partition, **common)
+        cache = None
+        if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
+            from repro.compilecache import CompileCache
+
+            cache = CompileCache(cache_dir=args.cache_dir)
         return CseEngine(
             dfa,
             profiling=ProfilingConfig(
@@ -113,6 +118,7 @@ def _make_engine(name: str, dfa, args, partition=None):
                 symbol_low=args.symbol_low, symbol_high=args.symbol_high,
             ),
             merge_cutoff=args.cutoff,
+            cache=cache,
             **common,
         )
     raise SystemExit(f"unknown engine {name!r}")
@@ -282,7 +288,7 @@ def _plan(args) -> int:
 
 
 def _software(args) -> int:
-    import numpy as np
+    import time
 
     from repro.core.profiling import predict_convergence_sets
     from repro.core.partition import StatePartition
@@ -291,34 +297,69 @@ def _software(args) -> int:
     rules = _read_rules(args.rules)
     dfa = compile_ruleset(rules)
     data = Path(args.input).read_bytes()
+    profiling = ProfilingConfig(
+        n_inputs=300, input_len=200,
+        symbol_low=args.symbol_low, symbol_high=args.symbol_high,
+    )
+    partition = None
     if args.partition:
         partition = load_partition(args.partition)
     elif args.trivial:
         partition = StatePartition.trivial(dfa.num_states)
-    else:
-        partition = predict_convergence_sets(
-            dfa,
-            ProfilingConfig(
-                n_inputs=300, input_len=200,
-                symbol_low=args.symbol_low, symbol_high=args.symbol_high,
-            ),
-            cutoff=args.cutoff,
-        ).partition
+    cache = None
+    if not args.no_cache and partition is None:
+        from repro.compilecache import CompileCache
+
+        cache = CompileCache(cache_dir=args.cache_dir)
+    repeat = max(1, args.repeat)
     _obs_begin(args)
+
+    def one_scan(executor=None):
+        if cache is not None:
+            from repro.compilecache import scan_with_cache
+
+            return scan_with_cache(
+                dfa, data, cache=cache, n_segments=args.segments,
+                executor=executor, backend=args.backend,
+                profiling=profiling, cutoff=args.cutoff,
+            )
+        scan_partition = partition
+        if scan_partition is None:
+            scan_partition = predict_convergence_sets(
+                dfa, profiling, cutoff=args.cutoff
+            ).partition
+        return software_cse_scan(
+            dfa, data, scan_partition, n_segments=args.segments,
+            executor=executor, backend=args.backend,
+        )
+
+    iteration_seconds = []
     if args.processes:
         with segment_pool(dfa, args.processes) as executor:
-            run = software_cse_scan(
-                dfa, data, partition, n_segments=args.segments,
-                executor=executor, backend=args.backend,
-            )
+            for _ in range(repeat):
+                begin = time.perf_counter()
+                run = one_scan(executor)
+                iteration_seconds.append(time.perf_counter() - begin)
     else:
-        run = software_cse_scan(
-            dfa, data, partition, n_segments=args.segments,
-            backend=args.backend,
-        )
+        for _ in range(repeat):
+            begin = time.perf_counter()
+            run = one_scan()
+            iteration_seconds.append(time.perf_counter() - begin)
     _obs_finish(args)
+    stats = cache.stats() if cache is not None else None
+    if partition is not None:
+        n_blocks = partition.num_blocks
+    elif cache is not None:
+        n_blocks = cache.get_or_compile(
+            dfa, profiling=profiling, cutoff=args.cutoff,
+            backend=args.backend, n_segments=args.segments,
+        ).partition.num_blocks
+    else:
+        n_blocks = predict_convergence_sets(
+            dfa, profiling, cutoff=args.cutoff
+        ).partition.num_blocks
     print(f"backend: {run.backend} (requested: {run.requested_backend})  "
-          f"convergence sets: {partition.num_blocks}")
+          f"convergence sets: {n_blocks}")
     print(f"input: {run.n_symbols} symbols in {run.n_segments} segments")
     print(f"final state: {run.final_state}")
     print(f"sequential: {run.sequential_seconds * 1e3:.2f} ms")
@@ -326,6 +367,13 @@ def _software(args) -> int:
     print(f"elapsed: {run.elapsed_seconds * 1e3:.2f} ms")
     print(f"work speedup: {run.work_speedup:.2f}x of ideal {run.n_segments}x "
           f"(re-executed {run.reexec_segments})")
+    if repeat > 1:
+        for i, sec in enumerate(iteration_seconds):
+            print(f"iteration {i + 1}: {sec * 1e3:.2f} ms")
+    if stats is not None:
+        print(f"cache: {stats['memory_hits']} memory hits, "
+              f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
+              f"{stats['builds']} builds")
     return 0
 
 
@@ -406,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--symbol-low", type=int, default=0)
     p_run.add_argument("--symbol-high", type=int, default=255)
     p_run.add_argument("--partition", help="partition JSON from `profile -o`")
+    p_run.add_argument("--cache-dir",
+                       help="serve the CSE profiling products from a "
+                            "persistent compilation cache in this directory")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir (always re-profile)")
     p_run.add_argument("--reports", type=int, default=0,
                        help="print up to N report events")
     p_run.add_argument("--metrics-out",
@@ -445,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--cutoff", type=float, default=0.99)
     p_sw.add_argument("--symbol-low", type=int, default=0)
     p_sw.add_argument("--symbol-high", type=int, default=255)
+    p_sw.add_argument("--repeat", type=int, default=1,
+                      help="scan the input N times (shows warm-cache reuse)")
+    p_sw.add_argument("--cache-dir",
+                      help="persist compiled artifacts in this directory")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="disable the compilation cache (legacy path)")
     p_sw.add_argument("--metrics-out",
                       help="write a metrics snapshot here "
                            "(.json/.jsonl/.prom by suffix)")

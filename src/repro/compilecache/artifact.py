@@ -1,0 +1,160 @@
+"""The compile-once artifact: everything a scan otherwise rebuilds.
+
+A :class:`CompiledDfa` bundles the products of the paper's *offline* phase
+(random-input profiling census + merged convergence partition) together
+with every per-scan table the software path derives from the transition
+matrix:
+
+- the scalar table rows the interpreted walk indexes
+  (``repro.software._table_rows``),
+- the int64-raveled transition matrix the lockstep kernel gathers from,
+- the bitset backend's per-symbol predecessor bit-matrices
+  (:class:`repro.kernels.BitsetTables`, built lazily — they are the one
+  table whose footprint grows with ``alphabet * states^2 / 64``),
+- the resolved kernel backend hint for the artifact's segment count.
+
+Content addressing lives in :func:`cache_key`: the key is a digest of the
+DFA fingerprint (table bytes + dtype + shape + start + accepting) and of
+every parameter that can change the artifact — the profiling knobs, the
+merge cutoff/budget, and the kernel parameters (requested backend,
+segment count).  Two calls agreeing on all of those may share an artifact;
+any disagreement derives a different key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import astuple, dataclass, field
+from typing import Counter as CounterT, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.partition import StatePartition
+from repro.core.profiling import (
+    MergeResult,
+    ProfilingConfig,
+    merge_to_cutoff,
+    profile_partitions,
+)
+from repro.automata.dfa import Dfa
+from repro.kernels import BitsetTables, resolve_backend
+
+__all__ = ["CompiledDfa", "cache_key", "compile_dfa"]
+
+
+def cache_key(
+    fingerprint: Tuple,
+    profiling: ProfilingConfig,
+    cutoff: float,
+    max_blocks: Optional[int],
+    backend: str,
+    n_segments: int,
+) -> str:
+    """Content address of a compilation: hex digest of every input knob."""
+    payload = repr((
+        fingerprint,
+        astuple(profiling),
+        float(cutoff),
+        max_blocks,
+        str(backend),
+        int(n_segments),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CompiledDfa:
+    """A compile-once, scan-many execution plan for one DFA."""
+
+    dfa: Dfa
+    fingerprint: Tuple
+    key: str
+    #: scalar table rows (nested lists), the interpreted walk's format
+    rows: List[List[int]]
+    #: int64-raveled transition matrix, the lockstep kernel's format
+    flat_table: np.ndarray
+    #: profiling census the partition was merged from
+    census: CounterT[StatePartition]
+    #: merge outcome; ``merge.partition`` is the scan partition
+    merge: MergeResult
+    profiling: ProfilingConfig
+    merge_cutoff: float
+    max_blocks: Optional[int]
+    #: backend the compiler was asked for (may be ``"auto"``)
+    requested_backend: str
+    #: backend :func:`repro.kernels.resolve_backend` settled on
+    backend: str
+    n_segments: int
+    build_seconds: float = 0.0
+    _bitset: Optional[BitsetTables] = field(default=None, repr=False)
+
+    @property
+    def partition(self) -> StatePartition:
+        """The merged convergence partition scans speculate on."""
+        return self.merge.partition
+
+    @property
+    def num_convergence_sets(self) -> int:
+        return self.partition.num_blocks
+
+    def bitset_tables(self) -> BitsetTables:
+        """Per-symbol predecessor bit-matrices, built on first use."""
+        if self._bitset is None:
+            self._bitset = BitsetTables(self.dfa)
+        return self._bitset
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate artifact footprint (tables only)."""
+        total = int(self.flat_table.nbytes) + int(self.dfa.transitions.nbytes)
+        if self._bitset is not None:
+            total += self._bitset.nbytes
+        return total
+
+
+def compile_dfa(
+    dfa: Dfa,
+    profiling: Optional[ProfilingConfig] = None,
+    cutoff: float = 0.99,
+    max_blocks: Optional[int] = None,
+    backend: str = "auto",
+    n_segments: int = 16,
+) -> CompiledDfa:
+    """Run the offline phase once and bundle every scan-time table.
+
+    Profiling runs through the vectorized lockstep profiler
+    (:func:`repro.core.profiling.profile_partitions`), reusing the same
+    flat transition matrix the artifact ships to the kernels.  The census
+    and merged partition are exactly what the un-cached pipeline computes
+    for the same :class:`ProfilingConfig` — caching changes *when* the
+    work happens, never its value.
+    """
+    profiling = profiling or ProfilingConfig()
+    begin = time.perf_counter()
+    flat_table = dfa.transitions.astype(np.int64).ravel()
+    census = profile_partitions(dfa, profiling, flat_table=flat_table)
+    merge = merge_to_cutoff(census, cutoff=cutoff, max_blocks=max_blocks)
+    requested = "auto" if backend in (None, "auto") else str(backend)
+    resolved = resolve_backend(dfa, backend, merge.partition, n_segments)
+    compiled = CompiledDfa(
+        dfa=dfa,
+        fingerprint=dfa.fingerprint,
+        key=cache_key(
+            dfa.fingerprint, profiling, cutoff, max_blocks, requested, n_segments
+        ),
+        rows=[row.tolist() for row in dfa.transitions],
+        flat_table=flat_table,
+        census=census,
+        merge=merge,
+        profiling=profiling,
+        merge_cutoff=float(cutoff),
+        max_blocks=max_blocks,
+        requested_backend=requested,
+        backend=resolved,
+        n_segments=int(n_segments),
+    )
+    if resolved == "bitset":
+        compiled.bitset_tables()
+    compiled.build_seconds = time.perf_counter() - begin
+    return compiled

@@ -1,0 +1,114 @@
+"""On-disk artifact store: atomic writes, validated loads.
+
+One artifact per file, named by its content-addressed key.  Writes go to
+a temporary sibling and ``os.replace`` into place, so a reader never sees
+a torn file and concurrent writers of the same key are harmless (last one
+wins with identical content).  Loads re-validate the format version, the
+key and the DFA fingerprint before the artifact is trusted — a stale or
+foreign file is reported as :class:`ArtifactValidationError` and treated
+by the cache as a miss, never served.
+
+The payload is a pickle of plain fields (numpy arrays, partitions,
+dataclasses); the format version guards against silent drift the same way
+:mod:`repro.core.store` guards its JSON formats.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.compilecache.artifact import CompiledDfa
+
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactValidationError",
+    "artifact_path",
+    "save_artifact",
+    "load_artifact",
+]
+
+FORMAT_VERSION = 1
+_SUFFIX = ".cdfa"
+
+
+class ArtifactValidationError(ValueError):
+    """A stored artifact failed version/key/fingerprint validation."""
+
+
+def artifact_path(cache_dir: Union[str, Path], key: str) -> Path:
+    return Path(cache_dir) / f"{key}{_SUFFIX}"
+
+
+def save_artifact(compiled: CompiledDfa, cache_dir: Union[str, Path]) -> Path:
+    """Persist an artifact atomically; returns the final path."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = artifact_path(cache_dir, compiled.key)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "key": compiled.key,
+        "fingerprint": compiled.fingerprint,
+        "artifact": compiled,
+    }
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{compiled.key[:16]}.", suffix=".tmp", dir=cache_dir
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_artifact(
+    cache_dir: Union[str, Path],
+    key: str,
+    expected_fingerprint: Optional[Tuple] = None,
+) -> Optional[CompiledDfa]:
+    """Load and validate an artifact; ``None`` when the file is absent.
+
+    Raises :class:`ArtifactValidationError` when a file exists but its
+    version, key or fingerprint disagree with what the caller expects.
+    """
+    path = artifact_path(cache_dir, key)
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise ArtifactValidationError(f"unreadable artifact {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ArtifactValidationError(f"malformed artifact {path}")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactValidationError(
+            f"artifact {path} has format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    if payload.get("key") != key:
+        raise ArtifactValidationError(f"artifact {path} stored under a foreign key")
+    compiled = payload.get("artifact")
+    if not isinstance(compiled, CompiledDfa):
+        raise ArtifactValidationError(f"artifact {path} payload is not a CompiledDfa")
+    fingerprint = payload.get("fingerprint")
+    # recompute from the loaded table (drop the memoized value that rode
+    # along in the pickle) so corrupted content cannot self-certify
+    compiled.dfa._fingerprint = None
+    if fingerprint != compiled.dfa.fingerprint or fingerprint != compiled.fingerprint:
+        raise ArtifactValidationError(f"artifact {path} content does not match its header")
+    if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+        raise ArtifactValidationError(
+            f"artifact {path} fingerprint does not match the requesting DFA"
+        )
+    return compiled

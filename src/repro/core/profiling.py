@@ -28,6 +28,8 @@ from repro.core.partition import StatePartition
 
 __all__ = [
     "ProfilingConfig",
+    "profile_inputs",
+    "profile_finals",
     "profile_partitions",
     "maximum_frequency_partition",
     "covered_fraction",
@@ -67,17 +69,88 @@ class ProfilingConfig:
         return rng.integers(low, high + 1, size=self.input_len, dtype=np.int64)
 
 
-def profile_partitions(
-    dfa: Dfa, config: Optional[ProfilingConfig] = None
-) -> CounterT[StatePartition]:
-    """Census of convergence partitions over random profiling inputs."""
-    config = config or ProfilingConfig()
+def profile_inputs(dfa: Dfa, config: ProfilingConfig) -> np.ndarray:
+    """The ``(n_inputs, input_len)`` profiling words, in generation order.
+
+    Words are drawn one at a time from a generator seeded with
+    ``config.seed`` — the exact RNG consumption of the original
+    interpreted loop, so both profiler paths see identical inputs.
+    """
     rng = np.random.default_rng(config.seed)
+    return np.stack(
+        [config.random_input(rng, dfa.alphabet_size) for _ in range(config.n_inputs)]
+    )
+
+
+def profile_finals(
+    dfa: Dfa,
+    config: Optional[ProfilingConfig] = None,
+    vectorized: bool = True,
+    flat_table: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """All-state endpoints of every profiling input: ``(n_inputs, n_states)``.
+
+    Row ``i`` is ``dfa.run_all_states(word_i)``.  The vectorized path
+    advances every state of every profiling input in lockstep — one flat
+    gather per symbol position instead of ``n_inputs * input_len``
+    interpreted ``take`` calls — and is bit-identical to the interpreted
+    loop (``vectorized=False``, kept as the differential baseline).
+
+    ``flat_table`` optionally reuses a raveled transition matrix the
+    caller already built (the compilation cache shares one with the
+    lockstep kernel); any integer dtype is accepted — the gather runs in
+    int32, where every index fits (``alphabet_size * num_states`` is
+    bounded by the int32 table the :class:`Dfa` stores).
+    """
+    config = config or ProfilingConfig()
+    words = profile_inputs(dfa, config)
+    if not vectorized:
+        return np.stack([dfa.run_all_states(word) for word in words])
+    n_states = dfa.num_states
+    if flat_table is None:
+        flat = dfa.transitions.ravel()
+    else:
+        flat = flat_table.astype(np.int32, copy=False)
+    # offsets[i, t] = symbol_of(input i, position t) * n_states, so one
+    # fancy-indexed gather advances all n_inputs * n_states flows at once;
+    # int32 throughout halves the memory traffic of the hot loop
+    offsets = (words * n_states).astype(np.int32)
+    cur = np.tile(np.arange(n_states, dtype=np.int32), (config.n_inputs, 1))
+    idx = np.empty_like(cur)
+    for t in range(config.input_len):
+        np.add(offsets[:, t, None], cur, out=idx)
+        np.take(flat, idx, out=cur)
+    return cur
+
+
+def profile_partitions(
+    dfa: Dfa,
+    config: Optional[ProfilingConfig] = None,
+    vectorized: bool = True,
+    flat_table: Optional[np.ndarray] = None,
+) -> CounterT[StatePartition]:
+    """Census of convergence partitions over random profiling inputs.
+
+    The census is an exact value regardless of ``vectorized``: the batched
+    profiler sees the same words (same seed, same RNG consumption) and the
+    same endpoints, and :class:`Counter` equality ignores insertion order.
+    The vectorized path additionally deduplicates identical endpoint rows
+    before building partitions, so the Python-level partition construction
+    is paid once per *distinct* outcome instead of once per input.
+    """
+    config = config or ProfilingConfig()
     census: CounterT[StatePartition] = Counter()
-    for _ in range(config.n_inputs):
-        word = config.random_input(rng, dfa.alphabet_size)
-        finals = dfa.run_all_states(word)
-        census[StatePartition.from_final_states(finals)] += 1
+    if not vectorized:
+        rng = np.random.default_rng(config.seed)
+        for _ in range(config.n_inputs):
+            word = config.random_input(rng, dfa.alphabet_size)
+            finals = dfa.run_all_states(word)
+            census[StatePartition.from_final_states(finals)] += 1
+        return census
+    finals = profile_finals(dfa, config, flat_table=flat_table)
+    rows, counts = np.unique(finals, axis=0, return_counts=True)
+    for row, count in zip(rows, counts.tolist()):
+        census[StatePartition.from_final_states(row)] += int(count)
     return census
 
 

@@ -98,13 +98,16 @@ def run_segments_batch(
     segments: Sequence[np.ndarray],
     backend: str = "lockstep",
     tables: Optional[BitsetTables] = None,
+    flat: Optional[np.ndarray] = None,
 ) -> List[SegmentFunction]:
     """Execute every enumerative segment's set-flows in one batched pass.
 
     Returns one :class:`SegmentFunction` per entry of ``segments``,
     bit-identical to running :func:`repro.software.run_segment` per
     segment.  ``tables`` optionally reuses precomputed
-    :class:`BitsetTables` across calls (streaming).
+    :class:`BitsetTables` and ``flat`` an int64-raveled transition matrix
+    across calls (streaming, or a cached
+    :class:`repro.compilecache.CompiledDfa` artifact).
     """
     if backend not in KERNEL_BACKENDS:
         raise ValueError(f"batched execution needs one of {KERNEL_BACKENDS}")
@@ -118,7 +121,8 @@ def run_segments_batch(
     labels = partition.labels()
     blocks = partition.block_arrays()
     n_states = dfa.num_states
-    flat = dfa.transitions.astype(np.int64).ravel()
+    if flat is None:
+        flat = dfa.transitions.astype(np.int64).ravel()
     matrix, lengths = stack_segments(segments)
     offsets = matrix * n_states
 

@@ -40,7 +40,6 @@ re-pickling the :class:`Dfa` into every submitted segment.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -163,17 +162,20 @@ def run_segment(
 # ----------------------------------------------------------------------
 
 _WORKER_DFA: Optional[Dfa] = None
+#: the one shared-memory segment a worker keeps attached (name, handle);
+#: replaced (old handle closed) when a scan ships a new segment name
+_WORKER_SHM: Optional[Tuple[str, "object"]] = None
 
 
 def dfa_fingerprint(dfa: Dfa) -> Tuple:
-    """A stable identity for a DFA (used to match pools to machines)."""
-    digest = hashlib.sha1(dfa.transitions.tobytes()).hexdigest()
-    return (
-        dfa.transitions.shape,
-        dfa.start,
-        tuple(sorted(dfa.accepting)),
-        digest,
-    )
+    """A stable identity for a DFA (used to match pools to machines).
+
+    Delegates to the memoized :attr:`repro.automata.dfa.Dfa.fingerprint`
+    (table bytes + dtype + shape + start + accepting) — the same value the
+    compilation cache addresses artifacts with, computed once per machine
+    instead of re-hashed per scan.
+    """
+    return dfa.fingerprint
 
 
 def _pool_init(table_bytes, shape, start, accepting) -> None:
@@ -204,6 +206,86 @@ def _pool_run_segment(partition, segment, backend, collect=False, seg_index=None
         obs.counter("software_worker_segments_total").inc()
         obs.counter("software_worker_symbols_total").inc(int(len(segment)))
     return function, seconds, registry.snapshot()
+
+
+# ----------------------------------------------------------------------
+# zero-copy input dispatch: one shared-memory segment per scan
+# ----------------------------------------------------------------------
+
+
+def _share_symbols(syms: np.ndarray):
+    """Place the scan's symbol array into shared memory once.
+
+    Returns the :class:`~multiprocessing.shared_memory.SharedMemory`
+    handle, or ``None`` when shared memory is unavailable on this
+    platform — callers fall back to pickling segment slices, the
+    pre-shared-memory behavior.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(1, syms.nbytes))
+    except (ImportError, OSError, PermissionError):
+        obs.counter("software_shm_fallbacks_total").inc()
+        return None
+    view = np.frombuffer(shm.buf, dtype=np.int64, count=syms.size)
+    view[:] = syms
+    del view
+    obs.counter("software_shm_scans_total").inc()
+    obs.counter("software_shm_bytes_total").inc(int(syms.nbytes))
+    return shm
+
+
+def _release_shared(shm) -> None:
+    """Close + unlink the parent's handle; errors are non-fatal."""
+    for call in (shm.close, shm.unlink):
+        try:
+            call()
+        except (OSError, FileNotFoundError, BufferError):
+            pass
+
+
+def _attach_worker_shm(name: str):
+    """Attach (and cache) the scan's shared-memory segment in a worker.
+
+    Workers hold exactly one attachment: a new segment name closes the
+    previous one, so a long-lived pool never accumulates mappings.
+    Attaches with ``track=False`` where available (3.13+); on older
+    Pythons the worker's register collapses into the process-tree-shared
+    resource tracker's name set, and the parent's ``unlink`` performs the
+    single balanced unregister — so no extra bookkeeping is needed.
+    """
+    global _WORKER_SHM
+    if _WORKER_SHM is not None and _WORKER_SHM[0] == name:
+        return _WORKER_SHM[1]
+    from multiprocessing import shared_memory
+
+    if _WORKER_SHM is not None:
+        try:
+            _WORKER_SHM[1].close()
+        except (OSError, BufferError):
+            pass
+        _WORKER_SHM = None
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track flag
+        shm = shared_memory.SharedMemory(name=name)
+    _WORKER_SHM = (name, shm)
+    return shm
+
+
+def _pool_run_segment_shm(
+    partition, shm_name, start, stop, backend, collect=False, seg_index=None
+):
+    """Worker-side execution of a ``(shm_name, offset, length)`` segment.
+
+    The symbol data is read directly out of the scan's shared-memory
+    segment — nothing but the three coordinates crosses the process
+    boundary.
+    """
+    shm = _attach_worker_shm(shm_name)
+    symbols = np.frombuffer(shm.buf, dtype=np.int64, count=stop)[start:stop]
+    return _pool_run_segment(partition, symbols, backend, collect, seg_index)
 
 
 def segment_pool(dfa: Dfa, max_workers: Optional[int] = None) -> ProcessPoolExecutor:
@@ -274,6 +356,8 @@ def software_cse_scan(
     backend: str = "python",
     start_state: Optional[int] = None,
     verify: bool = True,
+    compiled=None,
+    use_shared_memory: Optional[bool] = None,
 ) -> SoftwareRun:
     """Scan an input with software CSE; verify against the tight loop.
 
@@ -290,12 +374,29 @@ def software_cse_scan(
     is exact by construction — re-execution repairs any failed
     speculation); callers on the hot path (streaming) use it, at the price
     of ``sequential_seconds`` reading 0.
+
+    ``compiled`` optionally supplies a
+    :class:`repro.compilecache.CompiledDfa` artifact whose prebuilt tables
+    (scalar rows, flat kernel matrix, bitset matrices) are reused instead
+    of being derived per scan; results are bit-identical with or without
+    it.  ``use_shared_memory`` controls how segments reach a
+    fingerprint-matched process pool: ``None`` (auto) and ``True`` place
+    the symbol array in one :mod:`multiprocessing.shared_memory` segment
+    and ship ``(name, offset, length)`` coordinates, falling back to
+    pickled slices when shared memory is unavailable; ``False`` forces the
+    pickle path.
     """
-    requested = "auto" if backend in (None, "auto") else str(backend)
-    backend = resolve_backend(dfa, backend, partition, n_segments)
+    if compiled is not None:
+        requested = compiled.requested_backend
+        backend = compiled.backend if backend in (None, "auto") else backend
+        backend = resolve_backend(dfa, backend, partition, n_segments)
+        rows = compiled.rows
+    else:
+        requested = "auto" if backend in (None, "auto") else str(backend)
+        backend = resolve_backend(dfa, backend, partition, n_segments)
+        rows = _table_rows(dfa)
     syms = as_symbols(symbols)
     bounds = even_boundaries(int(syms.size), n_segments)
-    rows = _table_rows(dfa)
     syms_list: Optional[List[int]] = syms.tolist() if executor is None else None
     collect = obs.is_enabled()
     scan_wall = time.time()
@@ -316,22 +417,38 @@ def software_cse_scan(
 
     enum_bounds = bounds[1:]
     if executor is not None:
-        pooled = (
-            getattr(executor, "_repro_dfa_fingerprint", None)
-            == dfa_fingerprint(dfa)
+        fingerprint = (
+            compiled.fingerprint if compiled is not None else dfa.fingerprint
         )
-        if pooled:
-            futures = [
-                executor.submit(_pool_run_segment, partition, syms[a:b],
-                                backend, collect, i + 1)
-                for i, (a, b) in enumerate(enum_bounds)
-            ]
-        else:
-            futures = [
-                executor.submit(run_segment, dfa, partition, syms[a:b], backend)
-                for a, b in enum_bounds
-            ]
-        timed = [f.result() for f in futures]
+        pooled = (
+            getattr(executor, "_repro_dfa_fingerprint", None) == fingerprint
+        )
+        shm = None
+        if pooled and use_shared_memory is not False and enum_bounds:
+            shm = _share_symbols(syms)
+        try:
+            if shm is not None:
+                futures = [
+                    executor.submit(_pool_run_segment_shm, partition,
+                                    shm.name, a, b, backend, collect, i + 1)
+                    for i, (a, b) in enumerate(enum_bounds)
+                ]
+            elif pooled:
+                futures = [
+                    executor.submit(_pool_run_segment, partition, syms[a:b],
+                                    backend, collect, i + 1)
+                    for i, (a, b) in enumerate(enum_bounds)
+                ]
+            else:
+                futures = [
+                    executor.submit(run_segment, dfa, partition, syms[a:b],
+                                    backend)
+                    for a, b in enum_bounds
+                ]
+            timed = [f.result() for f in futures]
+        finally:
+            if shm is not None:
+                _release_shared(shm)
         functions = [entry[0] for entry in timed]
         enum_seconds = [entry[1] for entry in timed]
         if collect and pooled:
@@ -347,7 +464,13 @@ def software_cse_scan(
         kernel_wall = time.time()
         kernel_begin = time.perf_counter()
         functions = run_segments_batch(
-            dfa, partition, [syms[a:b] for a, b in enum_bounds], backend=backend
+            dfa, partition, [syms[a:b] for a, b in enum_bounds], backend=backend,
+            tables=(
+                compiled.bitset_tables()
+                if compiled is not None and backend == "bitset"
+                else None
+            ),
+            flat=compiled.flat_table if compiled is not None else None,
         )
         kernel_elapsed = time.perf_counter() - kernel_begin
         enum_seconds = [kernel_elapsed / max(1, len(enum_bounds))] * len(enum_bounds)

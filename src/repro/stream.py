@@ -60,6 +60,11 @@ class StreamScanner:
     partition:
         Convergence partition for the kernel path; defaults to the
         trivial single-set partition.
+    cache:
+        Optional :class:`repro.compilecache.CompileCache`.  When given
+        (and no explicit ``partition``), the scanner serves its partition
+        and kernel tables from a compiled artifact — profiled on first
+        use, reused by every scanner of the same ruleset afterwards.
     """
 
     def __init__(
@@ -70,13 +75,24 @@ class StreamScanner:
         backend: Optional[str] = "python",
         partition: Optional[StatePartition] = None,
         n_segments: int = 8,
+        cache=None,
     ):
         self.dfa = dfa
         self.engine = engine
         self.min_parallel_chunk = int(min_parallel_chunk)
-        self.partition = partition or StatePartition.trivial(dfa.num_states)
         self.n_segments = int(n_segments)
-        self.backend = resolve_backend(dfa, backend, self.partition, n_segments)
+        self.compiled = None
+        if cache is not None and partition is None:
+            self.compiled = cache.get_or_compile(
+                dfa, backend=backend or "auto", n_segments=self.n_segments
+            )
+            self.partition = self.compiled.partition
+            self.backend = self.compiled.backend
+        else:
+            self.partition = partition or StatePartition.trivial(dfa.num_states)
+            self.backend = resolve_backend(
+                dfa, backend, self.partition, n_segments
+            )
         self.reset()
 
     def reset(self) -> None:
@@ -129,6 +145,7 @@ class StreamScanner:
                 backend=self.backend,
                 start_state=self.state,
                 verify=False,
+                compiled=self.compiled,
             )
             self.cycles += int(syms.size)
             end_state = run.final_state
@@ -183,6 +200,7 @@ class FleetScanner:
         config: Optional[APConfig] = None,
         n_segments: int = 8,
         backend: Optional[str] = "auto",
+        cache=None,
     ):
         if not dfas:
             raise ValueError("need at least one FSM")
@@ -195,12 +213,24 @@ class FleetScanner:
         cores_per_segment = max(1, per_fsm_cores // self.n_segments)
         self.engines: List[Engine] = []
         self.backends: List[str] = []
+        self.compiled: List = []
         for dfa, partition in zip(dfas, partitions):
-            if partition is None:
+            compiled = None
+            if cache is not None and partition is None:
+                # fleet machines share one cache: identical rulesets hit
+                # the same artifact and profile exactly once
+                compiled = cache.get_or_compile(
+                    dfa, backend=backend or "auto", n_segments=self.n_segments
+                )
+                partition = compiled.partition
+            elif partition is None:
                 partition = StatePartition.trivial(dfa.num_states)
+            self.compiled.append(compiled)
             # same shared default-resolution helper StreamScanner uses
             self.backends.append(
-                resolve_backend(dfa, backend, partition, self.n_segments)
+                compiled.backend
+                if compiled is not None
+                else resolve_backend(dfa, backend, partition, self.n_segments)
             )
             self.engines.append(
                 CseEngine(
@@ -271,13 +301,16 @@ class FleetScanner:
         collect = obs.is_enabled()
         wall = time.time()
         begin = time.perf_counter()
-        for idx, (engine, backend) in enumerate(zip(self.engines, self.backends)):
+        for idx, (engine, backend, compiled) in enumerate(
+            zip(self.engines, self.backends, self.compiled)
+        ):
             run = software_cse_scan(
                 engine.dfa,
                 syms,
                 engine.partition,
                 n_segments=self.n_segments,
                 backend=backend,
+                compiled=compiled,
             )
             runs.append(run)
             if collect and run.elapsed_seconds > 0:

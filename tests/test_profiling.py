@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.automata.builders import cycle_dfa, random_dfa
+from repro.automata.dfa import Dfa
 from repro.core.partition import StatePartition
 from repro.core.profiling import (
     MergeResult,
@@ -172,3 +173,54 @@ class TestPredictEndToEnd:
         low = predict_convergence_sets(small_ruleset_dfa, config, cutoff=0.90)
         high = predict_convergence_sets(small_ruleset_dfa, config, cutoff=1.0)
         assert high.num_convergence_sets >= low.num_convergence_sets
+
+
+class TestVectorizedProfiler:
+    """The batched profiler is bit-identical to the interpreted loop."""
+
+    def test_finals_match_interpreted(self, small_ruleset_dfa):
+        from repro.core.profiling import profile_finals
+
+        config = ProfilingConfig(n_inputs=25, input_len=60)
+        fast = profile_finals(small_ruleset_dfa, config, vectorized=True)
+        slow = profile_finals(small_ruleset_dfa, config, vectorized=False)
+        assert fast.dtype == slow.dtype
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_census_matches_interpreted(self, small_ruleset_dfa):
+        config = ProfilingConfig(n_inputs=25, input_len=60)
+        fast = profile_partitions(small_ruleset_dfa, config, vectorized=True)
+        slow = profile_partitions(small_ruleset_dfa, config, vectorized=False)
+        assert fast == slow
+
+    def test_census_matches_on_permutation_machine(self):
+        dfa = cycle_dfa(6)
+        config = ProfilingConfig(n_inputs=12, input_len=30, symbol_high=1)
+        assert (profile_partitions(dfa, config, vectorized=True)
+                == profile_partitions(dfa, config, vectorized=False))
+
+    def test_single_state_machine(self):
+        dfa = Dfa(np.zeros((2, 1), dtype=np.int32), 0, [0])
+        config = ProfilingConfig(n_inputs=5, input_len=10, symbol_high=1)
+        assert (profile_partitions(dfa, config, vectorized=True)
+                == profile_partitions(dfa, config, vectorized=False))
+
+    def test_profile_inputs_consumes_rng_like_loop(self, small_ruleset_dfa):
+        from repro.core.profiling import profile_inputs
+
+        config = ProfilingConfig(n_inputs=7, input_len=20)
+        words = profile_inputs(small_ruleset_dfa, config)
+        rng = np.random.default_rng(config.seed)
+        expected = [config.random_input(rng, small_ruleset_dfa.alphabet_size)
+                    for _ in range(7)]
+        np.testing.assert_array_equal(words, np.stack(expected))
+
+    def test_flat_table_reuse(self, small_ruleset_dfa):
+        from repro.core.profiling import profile_finals
+
+        config = ProfilingConfig(n_inputs=10, input_len=30)
+        flat = small_ruleset_dfa.transitions.astype(np.int64).ravel()
+        np.testing.assert_array_equal(
+            profile_finals(small_ruleset_dfa, config, flat_table=flat),
+            profile_finals(small_ruleset_dfa, config),
+        )

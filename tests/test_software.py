@@ -100,3 +100,49 @@ class TestSoftwareCseScan:
         assert len(run.segment_seconds) == 8
         assert all(s >= 0 for s in run.segment_seconds)
         assert run.critical_path_seconds >= max(run.segment_seconds)
+
+
+class TestSharedMemoryPool:
+    """The zero-copy segment dispatch path on a fingerprint-matched pool."""
+
+    def test_shm_and_pickle_paths_agree(self, dfa, word):
+        from repro.compilecache import CompileCache, scan_with_cache
+        from repro.core.profiling import ProfilingConfig
+        from repro.software import segment_pool
+
+        config = ProfilingConfig(n_inputs=30, input_len=50)
+        cache = CompileCache()
+        with segment_pool(dfa, max_workers=2) as pool:
+            shm_run = scan_with_cache(dfa, word, cache=cache, n_segments=4,
+                                      executor=pool, profiling=config)
+            pickled = scan_with_cache(dfa, word, cache=cache, n_segments=4,
+                                      executor=pool, profiling=config,
+                                      use_shared_memory=False)
+        assert shm_run.final_state == pickled.final_state == dfa.run(word)
+        assert cache.stats()["builds"] == 1
+
+    def test_shm_metrics_and_cleanup(self, dfa, word):
+        import glob
+
+        from repro import obs
+        from repro.compilecache import CompileCache, scan_with_cache
+        from repro.core.profiling import ProfilingConfig
+        from repro.software import segment_pool
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+        with obs.using() as registry:
+            cache = CompileCache()
+            with segment_pool(dfa, max_workers=2) as pool:
+                scan_with_cache(
+                    dfa, word, cache=cache, n_segments=4, executor=pool,
+                    profiling=ProfilingConfig(n_inputs=30, input_len=50),
+                )
+            snapshot = registry.snapshot()
+        names = {m["name"]: m for m in snapshot["metrics"]}
+        if "software_shm_scans_total" in names:
+            assert names["software_shm_scans_total"]["value"] == 1
+            assert names["software_shm_bytes_total"]["value"] >= word.size * 8
+            # the parent released and unlinked its segment
+            assert set(glob.glob("/dev/shm/psm_*")) <= before
+        else:  # platform without shared memory: the fallback was counted
+            assert "software_shm_fallbacks_total" in names
