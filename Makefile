@@ -3,10 +3,18 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast bench bench-kernels bench-cache \
-        check-overhead report examples clean golden
+        check check-overhead report examples clean golden
 
 install:
 	$(PYTHON) setup.py develop
+
+# static soundness gates (repro check, both pillars): artifact
+# verification + exact convergence certification on a paper-suite
+# ruleset, then the repo's AST lint rules.  Nonzero on any
+# error-severity diagnostic — this is the CI lint-job entry point.
+check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli check artifact --family ExactMatch
+	PYTHONPATH=src $(PYTHON) -m repro.cli check lint src
 
 test:
 	$(PYTHON) -m pytest tests/ -q

@@ -136,6 +136,29 @@ class Dfa:
             )
         return self._fingerprint
 
+    def validate(self, deep: bool = False) -> List:
+        """Re-check the constructor's invariants; raise on violations.
+
+        Instances restored through pickle bypass ``__init__``, so a
+        corrupted-but-well-formed payload can carry an out-of-range
+        table, a stale accepting mask, or a bad start state.  Delegates
+        to :func:`repro.check.verify_dfa`; raises :class:`ValueError`
+        on any error-severity finding and returns the non-fatal
+        diagnostics (``deep=True`` adds unreachable/dead-state
+        analysis).  Called by :mod:`repro.compilecache` at artifact-load
+        time.
+        """
+        from repro.check import verify_dfa
+
+        diagnostics = verify_dfa(self, deep=deep)
+        errors = [d for d in diagnostics if d.severity == "error"]
+        if errors:
+            raise ValueError(
+                "invalid DFA: "
+                + "; ".join(f"{d.code}: {d.message}" for d in errors)
+            )
+        return diagnostics
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

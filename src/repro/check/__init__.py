@@ -1,0 +1,70 @@
+"""``repro check`` — static soundness verification for CSE artifacts.
+
+Two pillars (see ``docs/static_analysis.md`` for every diagnostic code):
+
+- **Artifact verification** (:mod:`repro.check.artifact`,
+  :mod:`repro.check.convergence`): a :class:`Dfa`, a convergence
+  partition or a whole :class:`CompiledDfa` is checked against the
+  invariants the paper's correctness rests on — the transition table is
+  in-bounds, convergence sets partition the state space, the three
+  kernel encodings are transition-equivalent, content addresses
+  re-derive — and each convergence set is *exactly* certified as
+  proven-convergent / proven-divergent / unknown by closing its
+  set-automaton, cross-checked against the profiled census.
+- **Repo lint** (:mod:`repro.check.lint`): AST rules for this
+  codebase's real failure modes (dtype-less hot-path allocations,
+  unguarded shared memory, stray multiprocessing, instrumentation
+  bypasses, mutable defaults, overbroad excepts) with an inline
+  ``# repro: noqa(CODE)`` suppression mechanism.
+
+Findings are :class:`~repro.check.diagnostics.Diagnostic` records
+(severity, code, location) rendered as text or JSON; error severity is
+the CI gate (``make check``).
+"""
+
+from repro.check.artifact import (
+    verify_artifact_file,
+    verify_compiled,
+    verify_dfa,
+    verify_partition,
+)
+from repro.check.convergence import (
+    CONVERGENT,
+    DIVERGENT,
+    UNKNOWN,
+    CsCertificate,
+    certify_partition,
+    certify_set,
+)
+from repro.check.diagnostics import (
+    CODES,
+    Diagnostic,
+    count_by_severity,
+    has_errors,
+    render_json,
+    render_text,
+)
+from repro.check.lint import RULES, LintRule, lint_paths, lint_source
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "count_by_severity",
+    "has_errors",
+    "render_json",
+    "render_text",
+    "verify_dfa",
+    "verify_partition",
+    "verify_compiled",
+    "verify_artifact_file",
+    "CONVERGENT",
+    "DIVERGENT",
+    "UNKNOWN",
+    "CsCertificate",
+    "certify_set",
+    "certify_partition",
+    "RULES",
+    "LintRule",
+    "lint_source",
+    "lint_paths",
+]

@@ -1,0 +1,430 @@
+"""Pillar 1 — static soundness verification of CSE artifacts.
+
+The :class:`~repro.automata.dfa.Dfa` constructor validates its inputs,
+but artifacts that travel through pickle (``repro.compilecache``) are
+restored *without* running ``__init__`` — a corrupted or hand-edited
+``.cdfa`` file can therefore hold a structurally impossible machine whose
+checksums all agree (mutate the table, recompute the fingerprint, re-key
+the file).  These verifiers re-derive every invariant from first
+principles instead of trusting stored metadata:
+
+- :func:`verify_dfa` — table shape/dtype/bounds, start/accepting sanity,
+  accepting-mask agreement, and (``deep=True``) unreachable/dead state
+  analysis via :mod:`repro.automata.analysis`;
+- :func:`verify_partition` — convergence sets are disjoint, exhaustive,
+  non-empty, in-range, and the cached block index agrees;
+- :func:`verify_compiled` — every derived table of a
+  :class:`~repro.compilecache.artifact.CompiledDfa` (scalar rows, flat
+  int64 kernel matrix, bitset predecessor matrices) is transition-
+  equivalent to the source table, the cache key/fingerprint re-derive to
+  the stored values, the census is well-formed and the merge coverage is
+  reproducible;
+- :func:`verify_artifact_file` — the on-disk envelope (format version,
+  key, header fingerprint) plus everything above.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import List, Optional, Set, Union
+
+import numpy as np
+
+from repro.check.diagnostics import Diagnostic, register_code
+
+__all__ = [
+    "verify_dfa",
+    "verify_partition",
+    "verify_compiled",
+    "verify_artifact_file",
+]
+
+# ----------------------------------------------------------------------
+# diagnostic codes
+# ----------------------------------------------------------------------
+D101 = register_code("D101", "transition table is not a 2-D integer ndarray")
+D102 = register_code("D102", "transition table dtype is not int32")
+D103 = register_code("D103", "transition target out of state range")
+D104 = register_code("D104", "start state out of range")
+D105 = register_code("D105", "accepting state out of range")
+D106 = register_code("D106", "accepting mask disagrees with accepting set")
+D201 = register_code("D201", "states unreachable from the start state")
+D202 = register_code("D202", "dead states (no path to an accepting state)")
+D203 = register_code("D203", "DFA has no accepting states")
+D204 = register_code("D204", "no accepting state is reachable from start")
+
+P101 = register_code("P101", "convergence sets overlap")
+P102 = register_code("P102", "convergence sets do not cover the state space")
+P103 = register_code("P103", "empty convergence set")
+P104 = register_code("P104", "convergence-set member out of state range")
+P105 = register_code("P105", "partition block index disagrees with blocks")
+
+K101 = register_code("K101", "scalar table rows disagree with the transition table")
+K102 = register_code("K102", "flat kernel matrix disagrees with the transition table")
+K103 = register_code("K103", "bitset tables disagree with the transition table")
+K104 = register_code("K104", "stored cache key does not re-derive")
+K105 = register_code("K105", "stored fingerprint does not re-derive")
+K106 = register_code("K106", "backend fields are invalid or do not re-resolve")
+K107 = register_code("K107", "merge coverage does not re-derive from the census")
+K108 = register_code("K108", "census entry is not a valid state partition")
+K109 = register_code("K109", "artifact file format version mismatch")
+K110 = register_code("K110", "artifact file envelope is malformed")
+
+
+def _err(code: str, message: str, location: str) -> Diagnostic:
+    return Diagnostic(code=code, severity="error", message=message,
+                      location=location)
+
+
+def _warn(code: str, message: str, location: str) -> Diagnostic:
+    return Diagnostic(code=code, severity="warning", message=message,
+                      location=location)
+
+
+def _info(code: str, message: str, location: str) -> Diagnostic:
+    return Diagnostic(code=code, severity="info", message=message,
+                      location=location)
+
+
+# ----------------------------------------------------------------------
+# DFA structure
+# ----------------------------------------------------------------------
+def verify_dfa(dfa: "object", deep: bool = True,
+               location: str = "dfa") -> List[Diagnostic]:
+    """Structural soundness of a (possibly unpickled) :class:`Dfa`.
+
+    Errors mean the object violates an invariant the constructor would
+    have rejected — only possible for instances restored around
+    ``__init__`` (pickle) or mutated in place.  ``deep=True`` adds the
+    reachability/dead-state analyses (warnings/info, never errors: an
+    unreachable state is wasteful, not wrong).
+    """
+    out: List[Diagnostic] = []
+    table = getattr(dfa, "transitions", None)
+    if not isinstance(table, np.ndarray) or table.ndim != 2 \
+            or not np.issubdtype(table.dtype, np.integer):
+        out.append(_err(D101, "transitions must be a 2-D integer ndarray",
+                        f"{location}.transitions"))
+        return out
+    if table.dtype != np.int32:
+        out.append(_err(
+            D102,
+            f"transition table dtype is {table.dtype}, expected int32 "
+            "(every kernel and fingerprint assumes it)",
+            f"{location}.transitions"))
+    n_sym, n_state = table.shape
+    if n_sym == 0 or n_state == 0:
+        out.append(_err(D101, "transition table has a zero-length axis",
+                        f"{location}.transitions"))
+        return out
+    if table.size and (int(table.min()) < 0 or int(table.max()) >= n_state):
+        bad = np.argwhere((table < 0) | (table >= n_state))
+        c, q = (int(v) for v in bad[0])
+        out.append(_err(
+            D103,
+            f"{bad.shape[0]} transition target(s) outside [0, {n_state}); "
+            f"first at symbol {c}, state {q} -> {int(table[c, q])}",
+            f"{location}.transitions"))
+        # later analyses index with this table; stop before they explode
+        return out
+    start = getattr(dfa, "start", None)
+    if not isinstance(start, int) or not (0 <= start < n_state):
+        out.append(_err(D104, f"start state {start!r} outside [0, {n_state})",
+                        f"{location}.start"))
+    accepting = getattr(dfa, "accepting", frozenset())
+    bad_acc = [a for a in accepting if not (0 <= int(a) < n_state)]
+    if bad_acc:
+        out.append(_err(
+            D105,
+            f"accepting state(s) {sorted(bad_acc)[:5]} outside [0, {n_state})",
+            f"{location}.accepting"))
+    mask = getattr(dfa, "accepting_mask", None)
+    if not bad_acc:
+        expect = np.zeros(n_state, dtype=bool)
+        if accepting:
+            expect[sorted(int(a) for a in accepting)] = True
+        if not isinstance(mask, np.ndarray) or mask.shape != (n_state,) \
+                or not bool(np.array_equal(mask.astype(bool), expect)):
+            out.append(_err(
+                D106,
+                "accepting_mask does not match the accepting set "
+                "(report events would fire on the wrong states)",
+                f"{location}.accepting_mask"))
+    if not accepting:
+        out.append(_warn(D203, "no accepting states: the machine can never "
+                         "report a match", f"{location}.accepting"))
+    if deep and not any(d.severity == "error" for d in out):
+        from repro.automata.analysis import dead_states
+
+        reachable = dfa.reachable_states()  # type: ignore[attr-defined]
+        n_unreachable = n_state - int(reachable.size)
+        if n_unreachable:
+            out.append(_warn(
+                D201,
+                f"{n_unreachable} of {n_state} states unreachable from the "
+                "start state (minimization would remove them)",
+                f"{location}.transitions"))
+        dead = dead_states(dfa)  # type: ignore[arg-type]
+        n_dead = int(dead.sum())
+        if n_dead:
+            out.append(_info(
+                D202,
+                f"{n_dead} dead state(s): enumeration flows entering them "
+                "can be deactivated",
+                f"{location}.transitions"))
+        if accepting and not bad_acc:
+            reach_mask = np.zeros(n_state, dtype=bool)
+            reach_mask[reachable] = True
+            if not any(reach_mask[int(a)] for a in accepting):
+                out.append(_warn(
+                    D204,
+                    "every accepting state is unreachable from the start "
+                    "state: scans can never report",
+                    f"{location}.accepting"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# partition structure
+# ----------------------------------------------------------------------
+def verify_partition(partition: "object", num_states: Optional[int] = None,
+                     location: str = "partition") -> List[Diagnostic]:
+    """Convergence sets partition the state space: disjoint, exhaustive.
+
+    Accepts a :class:`~repro.core.partition.StatePartition` (its cached
+    ``block_of`` index is cross-checked too) or any iterable of state
+    collections together with an explicit ``num_states``.
+    """
+    out: List[Diagnostic] = []
+    if num_states is None:
+        num_states = int(getattr(partition, "num_states"))
+    blocks_attr = getattr(partition, "blocks", partition)
+    blocks: List[Set[int]] = [set(int(q) for q in b) for b in blocks_attr]
+    for i, block in enumerate(blocks):
+        if not block:
+            out.append(_err(P103, f"convergence set {i} is empty",
+                            f"{location}.blocks[{i}]"))
+    seen: Set[int] = set()
+    overlap_reported = False
+    for i, block in enumerate(blocks):
+        clash = block & seen
+        if clash and not overlap_reported:
+            out.append(_err(
+                P101,
+                f"state(s) {sorted(clash)[:5]} appear in more than one "
+                "convergence set (speculation outcomes would be ambiguous)",
+                f"{location}.blocks[{i}]"))
+            overlap_reported = True
+        seen |= block
+    universe = set(range(num_states))
+    bad_members = seen - universe
+    if bad_members:
+        out.append(_err(
+            P104,
+            f"member(s) {sorted(bad_members)[:5]} outside [0, {num_states})",
+            f"{location}.blocks"))
+    missing = universe - seen
+    if missing:
+        out.append(_err(
+            P102,
+            f"{len(missing)} state(s) covered by no convergence set "
+            f"(first: {sorted(missing)[:5]}); their enumeration paths "
+            "would be silently dropped",
+            f"{location}.blocks"))
+    block_of = getattr(partition, "_block_of", None)
+    if block_of is not None and not out:
+        expect = {q: i for i, b in enumerate(blocks) for q in b}
+        if dict(block_of) != expect:
+            out.append(_err(
+                P105,
+                "cached block-of index disagrees with the blocks "
+                "(outcome composition would mix convergence sets)",
+                f"{location}._block_of"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# compiled artifact cross-validation
+# ----------------------------------------------------------------------
+def verify_compiled(compiled: "object", deep: bool = True,
+                    location: str = "artifact") -> List[Diagnostic]:
+    """Cross-validate every derived table of a :class:`CompiledDfa`.
+
+    The three kernel encodings must be transition-equivalent — a scan
+    must return the same matches whichever backend executes it — and the
+    content-addressing fields must re-derive from the actual content.
+    ``deep=True`` recomputes the bitset predecessor matrices when the
+    artifact has them built (the one check whose cost grows with
+    ``alphabet * states^2 / 64``).
+    """
+    from repro.compilecache.artifact import cache_key
+    from repro.kernels import BACKENDS
+
+    out: List[Diagnostic] = []
+    dfa = compiled.dfa  # type: ignore[attr-defined]
+    out.extend(verify_dfa(dfa, deep=deep, location=f"{location}.dfa"))
+    if any(d.severity == "error" for d in out):
+        return out  # derived-table checks would chase corrupt indices
+    table = dfa.transitions
+
+    # scalar rows =~ table
+    rows = compiled.rows  # type: ignore[attr-defined]
+    if len(rows) != table.shape[0] or any(
+        list(row) != table_row.tolist()
+        for row, table_row in zip(rows, table)
+    ):
+        out.append(_err(
+            K101,
+            "scalar table rows are not the transition table row-for-row "
+            "(the interpreted walk would follow different transitions)",
+            f"{location}.rows"))
+
+    # flat int64 matrix =~ raveled table
+    flat = compiled.flat_table  # type: ignore[attr-defined]
+    expect_flat = table.astype(np.int64).ravel()
+    if not isinstance(flat, np.ndarray) or flat.dtype != np.int64 \
+            or flat.shape != expect_flat.shape \
+            or not bool(np.array_equal(flat, expect_flat)):
+        out.append(_err(
+            K102,
+            "flat int64 kernel matrix does not equal the raveled "
+            "transition table (lockstep gathers would diverge)",
+            f"{location}.flat_table"))
+
+    # bitset tables =~ recomputed predecessor matrices
+    bitset = getattr(compiled, "_bitset", None)
+    if bitset is not None and deep:
+        from repro.kernels import BitsetTables
+
+        fresh = BitsetTables(dfa)
+        if bitset.pred.shape != fresh.pred.shape \
+                or not bool(np.array_equal(bitset.pred, fresh.pred)):
+            where = "?"
+            if bitset.pred.shape == fresh.pred.shape:
+                bad = np.argwhere(bitset.pred != fresh.pred)
+                c, t, w = (int(v) for v in bad[0])
+                where = f"symbol {c}, target {t}, word {w}"
+            out.append(_err(
+                K103,
+                "bitset predecessor matrices disagree with the transition "
+                f"table (first mismatch: {where}); the bitset backend "
+                "would follow different transitions",
+                f"{location}.bitset"))
+
+    # partition + census
+    partition = compiled.partition  # type: ignore[attr-defined]
+    out.extend(verify_partition(partition, dfa.num_states,
+                                location=f"{location}.partition"))
+    census = compiled.census  # type: ignore[attr-defined]
+    census_ok = True
+    for i, entry in enumerate(census):
+        entry_diags = verify_partition(entry, dfa.num_states,
+                                       location=f"{location}.census[{i}]")
+        bad = [d for d in entry_diags if d.severity == "error"]
+        if bad:
+            census_ok = False
+            out.append(_err(
+                K108,
+                f"census entry {i} is not a valid partition "
+                f"({bad[0].code}: {bad[0].message})",
+                f"{location}.census[{i}]"))
+    if census_ok and census:
+        from repro.core.profiling import covered_fraction
+
+        covered = covered_fraction(partition, census)
+        stored = float(compiled.merge.covered)  # type: ignore[attr-defined]
+        if abs(covered - stored) > 1e-9:
+            out.append(_err(
+                K107,
+                f"stored merge coverage {stored:.6f} does not re-derive "
+                f"from the census (actual {covered:.6f})",
+                f"{location}.merge.covered"))
+
+    # content addressing
+    dfa._fingerprint = None  # drop the memo: recompute from actual bytes
+    fingerprint = dfa.fingerprint
+    if fingerprint != compiled.fingerprint:  # type: ignore[attr-defined]
+        out.append(_err(
+            K105,
+            "stored fingerprint does not match the transition table "
+            "content (the artifact would be served for the wrong DFA)",
+            f"{location}.fingerprint"))
+    requested = compiled.requested_backend  # type: ignore[attr-defined]
+    resolved = compiled.backend  # type: ignore[attr-defined]
+    if resolved not in BACKENDS or (
+            requested != "auto" and requested not in BACKENDS):
+        out.append(_err(
+            K106,
+            f"backend fields requested={requested!r} resolved={resolved!r} "
+            f"are not drawn from {BACKENDS}",
+            f"{location}.backend"))
+    elif requested != "auto" and resolved != requested:
+        out.append(_err(
+            K106,
+            f"resolved backend {resolved!r} contradicts the explicit "
+            f"request {requested!r}",
+            f"{location}.backend"))
+    expect_key = cache_key(
+        fingerprint,
+        compiled.profiling,  # type: ignore[attr-defined]
+        compiled.merge_cutoff,  # type: ignore[attr-defined]
+        compiled.max_blocks,  # type: ignore[attr-defined]
+        requested,
+        compiled.n_segments,  # type: ignore[attr-defined]
+    )
+    if expect_key != compiled.key:  # type: ignore[attr-defined]
+        out.append(_err(
+            K104,
+            "stored cache key does not re-derive from the artifact's "
+            "fingerprint and compile parameters",
+            f"{location}.key"))
+    return out
+
+
+def verify_artifact_file(path: Union[str, Path],
+                         deep: bool = True) -> List[Diagnostic]:
+    """Verify an on-disk ``.cdfa`` file: envelope + full artifact checks.
+
+    Unlike :func:`repro.compilecache.store.load_artifact` (which treats
+    any problem as a cache miss), this reports *what* is wrong, as
+    diagnostics.
+    """
+    from repro.compilecache.artifact import CompiledDfa
+    from repro.compilecache.store import FORMAT_VERSION
+
+    path = Path(path)
+    location = str(path)
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        return [_err(K110, f"unreadable artifact: {exc}", location)]
+    if not isinstance(payload, dict):
+        return [_err(K110, "payload is not the save_artifact envelope",
+                     location)]
+    out: List[Diagnostic] = []
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        out.append(_err(
+            K109,
+            f"format version {version!r} (this build reads "
+            f"{FORMAT_VERSION})", location))
+    compiled = payload.get("artifact")
+    if not isinstance(compiled, CompiledDfa):
+        out.append(_err(K110, "envelope carries no CompiledDfa", location))
+        return out
+    expect_name = f"{compiled.key}"
+    if payload.get("key") != compiled.key or (
+            path.suffix == ".cdfa" and path.stem != expect_name):
+        out.append(_err(
+            K110,
+            "envelope key / filename do not match the artifact key",
+            location))
+    if payload.get("fingerprint") != compiled.fingerprint:
+        out.append(_err(
+            K105,
+            "envelope fingerprint does not match the artifact's",
+            location))
+    out.extend(verify_compiled(compiled, deep=deep, location=location))
+    return out

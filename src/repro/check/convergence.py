@@ -1,0 +1,254 @@
+"""Exact convergence certification: verify what profiling predicts.
+
+Random-input profiling (:mod:`repro.core.profiling`) *predicts* that each
+merged convergence set collapses to one state on most inputs.  Because the
+``set(N) -> set(M)`` step is deterministic, the prediction admits exact
+static analysis: the images of a convergence set ``B`` under all words
+form a finite *set-automaton* (nodes are state sets, one edge per symbol),
+the same object Sin'ya et al.'s simultaneous finite automata and
+Pritchard's symmetric-FSA decompositions enumerate.  Exploring it from
+``B`` classifies the set exactly:
+
+- **proven-convergent** — no cycle passes through a non-singleton node:
+  every word of length >= the certificate ``depth`` collapses ``B``,
+  unconditionally.  Speculation on this set can *never* miss once a
+  segment is at least ``depth`` symbols long.
+- **proven-divergent** — some reachable non-singleton node lies on a
+  cycle: inputs exist (arbitrarily long ones) on which ``B`` never
+  collapses, so speculation on this set is genuinely probabilistic and
+  re-execution must stay armed.
+- **unknown** — exploration hit the node/depth budget before closing the
+  graph (the set-automaton can be exponential in the worst case).
+
+The certificates are cross-checked against the profiled census: a set
+proven convergent within the profiling word length *must* have converged
+on every profiled input — a census entry claiming otherwise is corrupt
+(code C401).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Counter as CounterT, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa
+from repro.check.diagnostics import Diagnostic, register_code
+from repro.core.partition import StatePartition
+
+__all__ = [
+    "CONVERGENT",
+    "DIVERGENT",
+    "UNKNOWN",
+    "CsCertificate",
+    "certify_set",
+    "certify_partition",
+]
+
+CONVERGENT = "proven-convergent"
+DIVERGENT = "proven-divergent"
+UNKNOWN = "unknown"
+
+C201 = register_code("C201", "convergence set proven convergent")
+C202 = register_code("C202", "convergence set proven divergent")
+C301 = register_code("C301", "convergence certification inconclusive "
+                             "(exploration budget exhausted)")
+C401 = register_code("C401", "profiled census contradicts an exact "
+                             "convergence certificate")
+
+
+@dataclass(frozen=True)
+class CsCertificate:
+    """Exact classification of one convergence set."""
+
+    block_index: int
+    size: int
+    status: str
+    #: for proven-convergent sets: every word of this length (or longer)
+    #: collapses the set; 0 for singletons
+    depth: Optional[int]
+    #: distinct state sets enumerated while closing the set-automaton
+    explored_sets: int
+    #: fraction of profiled inputs on which the set converged (None
+    #: without a census)
+    profiled_convergence: Optional[float] = None
+
+    @property
+    def proven(self) -> bool:
+        return self.status != UNKNOWN
+
+
+def _explore(dfa: Dfa, block: np.ndarray, max_sets: int,
+             max_depth: int) -> Tuple[str, Optional[int], int]:
+    """Close the set-automaton from ``block``; classify exactly.
+
+    Returns ``(status, depth, explored)``.  Nodes are canonical sorted
+    state tuples; singleton nodes are absorbing for this analysis (the
+    image of a singleton is a singleton, converged stays converged).
+    """
+    start = tuple(int(q) for q in np.unique(block))
+    if len(start) == 1:
+        return CONVERGENT, 0, 1
+    table = dfa.transitions
+    ids: Dict[Tuple[int, ...], int] = {start: 0}
+    members: List[np.ndarray] = [np.asarray(start, dtype=np.int32)]
+    edges: List[List[int]] = []  # non-singleton node -> successor ids
+    frontier: List[int] = [0]
+    depth = 0
+    truncated = False
+    while frontier and not truncated:
+        depth += 1
+        if depth > max_depth:
+            truncated = True
+            break
+        nxt: List[int] = []
+        for node in frontier:
+            succ: List[int] = []
+            cur = members[node]
+            for c in range(dfa.alphabet_size):
+                image = np.unique(table[c].take(cur))
+                key = tuple(int(q) for q in image)
+                known = ids.get(key)
+                if known is None:
+                    known = len(members)
+                    ids[key] = known
+                    members.append(image)
+                    if len(key) > 1:
+                        nxt.append(known)
+                succ.append(known)
+            while len(edges) <= node:
+                edges.append([])
+            edges[node] = succ
+            if len(ids) > max_sets:
+                truncated = True
+                break
+        frontier = nxt
+    if truncated:
+        return UNKNOWN, None, len(ids)
+    # the graph over non-singleton nodes is closed; a cycle there is an
+    # unbounded non-converging word, its absence bounds convergence depth
+    n = len(members)
+    multi = [i for i in range(n) if members[i].size > 1]
+    color = {i: 0 for i in multi}  # 0 unseen, 1 on stack, 2 done
+    steps: Dict[int, int] = {}  # worst-case symbols until singleton
+
+    for root in multi:
+        if color[root]:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        color[root] = 1
+        while stack:
+            node, edge_i = stack[-1]
+            succ = edges[node] if node < len(edges) else []
+            if edge_i < len(succ):
+                stack[-1] = (node, edge_i + 1)
+                child = succ[edge_i]
+                if members[child].size == 1:
+                    continue
+                if color[child] == 1:
+                    return DIVERGENT, None, len(ids)
+                if color[child] == 0:
+                    color[child] = 1
+                    stack.append((child, 0))
+            else:
+                color[node] = 2
+                worst = 0
+                for child in succ:
+                    worst = max(worst, 1 + steps.get(child, 0)
+                                if members[child].size > 1 else 1)
+                steps[node] = worst
+                stack.pop()
+    return CONVERGENT, steps.get(0, 1), len(ids)
+
+
+def _census_convergence(block: np.ndarray,
+                        census: CounterT[StatePartition]) -> float:
+    """Fraction of profiled inputs on which ``block`` collapsed.
+
+    A block converged on an input exactly when it sits inside a single
+    block of the partition that input induced (all members shared a final
+    state).
+    """
+    total = sum(census.values())
+    if total == 0:
+        return 0.0
+    block_set = frozenset(int(q) for q in block)
+    hit = 0
+    for entry, count in census.items():
+        if any(block_set <= other for other in entry.blocks):
+            hit += count
+    return hit / total
+
+
+def certify_set(dfa: Dfa, block: np.ndarray, block_index: int = 0,
+                max_sets: int = 4096, max_depth: int = 512,
+                census: Optional[CounterT[StatePartition]] = None
+                ) -> CsCertificate:
+    """Exactly classify one convergence set (see module docstring)."""
+    status, depth, explored = _explore(dfa, block, max_sets, max_depth)
+    profiled = _census_convergence(block, census) if census else None
+    return CsCertificate(
+        block_index=block_index,
+        size=int(np.unique(block).size),
+        status=status,
+        depth=depth,
+        explored_sets=explored,
+        profiled_convergence=profiled,
+    )
+
+
+def certify_partition(dfa: Dfa, partition: StatePartition,
+                      census: Optional[CounterT[StatePartition]] = None,
+                      profiling_len: Optional[int] = None,
+                      max_sets: int = 4096, max_depth: int = 512
+                      ) -> Tuple[List[CsCertificate], List[Diagnostic]]:
+    """Certify every convergence set; cross-check against the census.
+
+    ``profiling_len`` is the profiled word length (from the artifact's
+    :class:`~repro.core.profiling.ProfilingConfig`); with it, a set
+    proven convergent at depth ``d <= profiling_len`` whose profiled
+    convergence is below 100% raises C401 — the census records an
+    outcome the transition structure makes impossible, so the artifact's
+    census (or its table) is corrupt.
+    """
+    certificates: List[CsCertificate] = []
+    diagnostics: List[Diagnostic] = []
+    for i, block in enumerate(partition.block_arrays()):
+        cert = certify_set(dfa, block, block_index=i, max_sets=max_sets,
+                           max_depth=max_depth, census=census)
+        certificates.append(cert)
+        where = f"partition.blocks[{i}]"
+        if cert.status == CONVERGENT:
+            diagnostics.append(Diagnostic(
+                code=C201, severity="info", location=where,
+                message=(f"set of {cert.size} state(s) collapses on every "
+                         f"word of length >= {cert.depth} "
+                         f"({cert.explored_sets} set(s) enumerated)")))
+        elif cert.status == DIVERGENT:
+            diagnostics.append(Diagnostic(
+                code=C202, severity="info", location=where,
+                message=(f"set of {cert.size} state(s) admits unboundedly "
+                         "long non-collapsing inputs; speculation on it is "
+                         "probabilistic and re-execution must stay armed")))
+        else:
+            diagnostics.append(Diagnostic(
+                code=C301, severity="warning", location=where,
+                message=(f"exploration stopped at {cert.explored_sets} "
+                         f"set(s) (budget: {max_sets} sets, depth "
+                         f"{max_depth}); raise --max-sets/--depth to "
+                         "close the analysis")))
+        if (census and profiling_len is not None
+                and cert.status == CONVERGENT
+                and cert.depth is not None
+                and cert.depth <= profiling_len
+                and cert.profiled_convergence is not None
+                and cert.profiled_convergence < 1.0):
+            diagnostics.append(Diagnostic(
+                code=C401, severity="error", location=f"census/{where}",
+                message=(f"set is proven to collapse within {cert.depth} "
+                         f"symbols but the census records convergence on "
+                         f"only {cert.profiled_convergence:.1%} of "
+                         f"length-{profiling_len} profiled inputs; the "
+                         "stored census contradicts the transition table")))
+    return certificates, diagnostics

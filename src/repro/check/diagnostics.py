@@ -1,0 +1,122 @@
+"""Structured diagnostics for ``repro check``.
+
+Every finding the static-analysis subsystem produces — artifact
+verification failures, lint rule hits, convergence certificates worth
+surfacing — is a :class:`Diagnostic`: a stable machine-readable ``code``,
+a ``severity``, a human message and a ``location`` (``file:line`` for
+lint, a dotted artifact path like ``dfa.transitions`` for verification).
+
+Codes are registered in :data:`CODES` with a one-line description; the
+docs (``docs/static_analysis.md``) must document every registered code
+and ``tests/test_check.py`` enforces that.
+
+Severity semantics:
+
+- ``error``   — the artifact/source is wrong; CI gates fail.
+- ``warning`` — suspicious but not provably wrong; reported, non-fatal.
+- ``info``    — a fact worth surfacing (e.g. a convergence certificate).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "CODES",
+    "Diagnostic",
+    "register_code",
+    "has_errors",
+    "count_by_severity",
+    "render_text",
+    "render_json",
+]
+
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+#: every registered diagnostic code -> one-line description
+CODES: Dict[str, str] = {}
+
+
+def register_code(code: str, description: str) -> str:
+    """Register a diagnostic code; returns it so it can be assigned."""
+    if code in CODES and CODES[code] != description:
+        raise ValueError(f"diagnostic code {code} registered twice")
+    CODES[code] = description
+    return code
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a code, a severity, a message and where it points."""
+
+    code: str
+    severity: str
+    message: str
+    location: str = ""
+    line: Optional[int] = None
+    rule: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    @property
+    def where(self) -> str:
+        """``location:line`` when a line is known, else the location."""
+        if self.line is not None:
+            return f"{self.location}:{self.line}"
+        return self.location
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+        }
+        if self.line is not None:
+            out["line"] = self.line
+        if self.rule is not None:
+            out["rule"] = self.rule
+        return out
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """Whether any diagnostic is error-severity (the CI gate condition)."""
+    return any(d.severity == "error" for d in diagnostics)
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts: Dict[str, int] = {severity: 0 for severity in SEVERITIES}
+    for d in diagnostics:
+        counts[d.severity] += 1
+    return counts
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """One line per finding plus a severity summary footer."""
+    lines: List[str] = []
+    for d in diagnostics:
+        where = d.where
+        prefix = f"{where}: " if where else ""
+        lines.append(f"{prefix}{d.severity} {d.code}: {d.message}")
+    counts = count_by_severity(diagnostics)
+    summary = ", ".join(f"{counts[s]} {s}(s)" for s in SEVERITIES)
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], **extra: object) -> str:
+    """A JSON document: findings, severity counts, and caller extras."""
+    payload: Dict[str, object] = {
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "counts": count_by_severity(diagnostics),
+        "ok": not has_errors(diagnostics),
+    }
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)

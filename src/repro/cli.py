@@ -16,7 +16,13 @@ Mirrors the paper's deployment workflow:
 - ``repro software`` — measured wall-clock software CSE scan with a
   selectable execution kernel (python/lockstep/bitset);
 - ``repro stats``    — pretty-print a metrics snapshot emitted by
-  ``--metrics-out``.
+  ``--metrics-out``;
+- ``repro check``    — static soundness verification (:mod:`repro.check`):
+  ``check artifact`` verifies a compiled artifact / ruleset (table
+  bounds, partition soundness, kernel-table equivalence, exact
+  convergence certification) and ``check lint`` runs the repo's AST
+  lint rules.  Both exit nonzero on error-severity findings — the
+  ``make check`` CI gate.
 
 ``repro run`` and ``repro software`` accept ``--metrics-out PATH`` /
 ``--trace-out PATH`` to capture runtime telemetry (:mod:`repro.obs`):
@@ -377,6 +383,97 @@ def _software(args) -> int:
     return 0
 
 
+def _check_artifact(args) -> int:
+    from repro import check as chk
+    from repro.compilecache import compile_dfa
+
+    diagnostics = []
+    certificates = []
+    compiled = None
+    source = args.target
+    if args.family:
+        from repro.workloads import generate_ruleset
+
+        rules = generate_ruleset(args.family, args.patterns, args.seed)
+        dfa = compile_ruleset(rules)
+        source = f"family:{args.family}"
+    elif args.target and args.target.endswith(".cdfa"):
+        diagnostics.extend(chk.verify_artifact_file(args.target))
+        if not chk.has_errors(diagnostics):
+            import pickle
+
+            with open(args.target, "rb") as handle:
+                compiled = pickle.load(handle)["artifact"]
+        dfa = compiled.dfa if compiled is not None else None
+    elif args.target:
+        dfa = compile_ruleset(_read_rules(args.target))
+    else:
+        raise SystemExit("check artifact needs a target "
+                         "(.cdfa file, rules file, or --family)")
+    if compiled is None and dfa is not None:
+        compiled = compile_dfa(
+            dfa,
+            profiling=ProfilingConfig(
+                n_inputs=args.inputs, input_len=args.length,
+                symbol_low=args.symbol_low, symbol_high=args.symbol_high,
+            ),
+            cutoff=args.cutoff,
+            backend=args.backend,
+            n_segments=args.segments,
+        )
+        diagnostics.extend(chk.verify_compiled(compiled))
+    if compiled is not None and not chk.has_errors(diagnostics):
+        certificates, cert_diags = chk.certify_partition(
+            compiled.dfa, compiled.partition,
+            census=compiled.census,
+            profiling_len=compiled.profiling.input_len,
+            max_sets=args.max_sets, max_depth=args.depth,
+        )
+        diagnostics.extend(cert_diags)
+    statuses = {
+        status: sum(1 for c in certificates if c.status == status)
+        for status in (chk.CONVERGENT, chk.DIVERGENT, chk.UNKNOWN)
+    }
+    if args.json:
+        print(chk.render_json(
+            diagnostics,
+            target=source,
+            certificates=[
+                {
+                    "block": c.block_index, "size": c.size,
+                    "status": c.status, "depth": c.depth,
+                    "explored_sets": c.explored_sets,
+                    "profiled_convergence": c.profiled_convergence,
+                }
+                for c in certificates
+            ],
+        ))
+    else:
+        print(f"artifact: {source}")
+        if compiled is not None:
+            print(f"  {compiled.dfa.num_states} states, "
+                  f"{compiled.num_convergence_sets} convergence sets, "
+                  f"backend {compiled.backend}")
+        if certificates:
+            print(f"  certification: {statuses[chk.CONVERGENT]} "
+                  f"proven-convergent, {statuses[chk.DIVERGENT]} "
+                  f"proven-divergent, {statuses[chk.UNKNOWN]} unknown")
+        print(chk.render_text(diagnostics))
+    return 1 if chk.has_errors(diagnostics) else 0
+
+
+def _check_lint(args) -> int:
+    from repro import check as chk
+
+    paths = args.paths or ["src"]
+    diagnostics = chk.lint_paths(paths)
+    if args.json:
+        print(chk.render_json(diagnostics, paths=list(map(str, paths))))
+    else:
+        print(chk.render_text(diagnostics))
+    return 1 if chk.has_errors(diagnostics) else 0
+
+
 def _stats(args) -> int:
     snapshot = obs.load_snapshot(args.snapshot)
     if args.format == "prom":
@@ -517,6 +614,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--format", default="table",
                          choices=["table", "prom", "json"])
     p_stats.set_defaults(func=_stats)
+
+    p_check = sub.add_parser(
+        "check", help="static soundness verification (artifact | lint)")
+    check_sub = p_check.add_subparsers(dest="check_command", required=True)
+
+    p_ca = check_sub.add_parser(
+        "artifact",
+        help="verify a compiled artifact (.cdfa), a rules file, or a "
+             "--family ruleset; certify its convergence sets exactly")
+    p_ca.add_argument("target", nargs="?",
+                      help=".cdfa artifact or rules file (one regex/line)")
+    p_ca.add_argument("--family",
+                      help="verify a generated paper-suite ruleset instead "
+                           "(e.g. ExactMatch, Snort, ClamAV)")
+    p_ca.add_argument("--patterns", type=int, default=20,
+                      help="pattern count for --family rulesets")
+    p_ca.add_argument("--seed", type=int, default=7,
+                      help="generator seed for --family rulesets")
+    p_ca.add_argument("--segments", type=int, default=16)
+    p_ca.add_argument("--backend", default="auto",
+                      choices=["auto", "python", "lockstep", "bitset"])
+    p_ca.add_argument("--cutoff", type=float, default=0.99)
+    p_ca.add_argument("--inputs", type=int, default=300)
+    p_ca.add_argument("--length", type=int, default=200)
+    p_ca.add_argument("--symbol-low", type=int, default=0)
+    p_ca.add_argument("--symbol-high", type=int, default=255)
+    p_ca.add_argument("--depth", type=int, default=512,
+                      help="set-automaton exploration depth budget")
+    p_ca.add_argument("--max-sets", type=int, default=4096,
+                      help="set-automaton exploration node budget")
+    p_ca.add_argument("--json", action="store_true",
+                      help="emit structured JSON instead of text")
+    p_ca.set_defaults(func=_check_artifact)
+
+    p_cl = check_sub.add_parser(
+        "lint", help="run the repo's AST lint rules (R1xx)")
+    p_cl.add_argument("paths", nargs="*",
+                      help="files or directories (default: src)")
+    p_cl.add_argument("--json", action="store_true",
+                      help="emit structured JSON instead of text")
+    p_cl.set_defaults(func=_check_lint)
 
     p_plan = sub.add_parser("plan", help="recommend a half-core allocation")
     p_plan.add_argument("rules")

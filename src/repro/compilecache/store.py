@@ -111,4 +111,24 @@ def load_artifact(
         raise ArtifactValidationError(
             f"artifact {path} fingerprint does not match the requesting DFA"
         )
+    # checksums only prove the header matches the payload; a corrupted-
+    # but-self-consistent pickle (table mutated, fingerprint re-derived)
+    # still needs its structural invariants re-checked
+    try:
+        compiled.dfa.validate()
+    except ValueError as exc:
+        raise ArtifactValidationError(
+            f"artifact {path} holds a structurally invalid DFA: {exc}"
+        ) from exc
+    from repro.check import has_errors, verify_partition
+
+    partition_diags = verify_partition(
+        compiled.partition, compiled.dfa.num_states
+    )
+    if has_errors(partition_diags):
+        raise ArtifactValidationError(
+            f"artifact {path} holds an unsound convergence partition: "
+            + "; ".join(f"{d.code}: {d.message}" for d in partition_diags
+                        if d.severity == "error")
+        )
     return compiled

@@ -46,7 +46,7 @@ def pack_bool(bits: np.ndarray) -> np.ndarray:
 
 def unpack_words(words: np.ndarray, n: int) -> np.ndarray:
     """Inverse of :func:`pack_bool`: ``(..., W)`` uint64 -> ``(..., n)`` bool."""
-    words = np.ascontiguousarray(words)
+    words = np.ascontiguousarray(words, dtype=np.uint64)
     bits = np.unpackbits(words.view(np.uint8), axis=-1, bitorder="little")
     return bits[..., :n].astype(bool)
 
@@ -67,7 +67,7 @@ class BitsetTables:
         self.num_states = n
         self.words = (n + 63) // 64
         pred = np.empty((alphabet, n, self.words), dtype=np.uint64)
-        cols = np.arange(n)
+        cols = np.arange(n, dtype=np.int64)
         onehot = np.empty((n, n), dtype=bool)
         for c in range(alphabet):
             onehot[:] = False

@@ -147,7 +147,7 @@ class FlatSetFlows:
         keep[hit] = False
         new_index = np.full(self.n_flows, -1, dtype=np.int64)
         live = np.flatnonzero(keep)
-        new_index[live] = np.arange(live.size)
+        new_index[live] = np.arange(live.size, dtype=np.int64)
         mem_keep = keep[self.mem_local]
         self.members = self.members[mem_keep]
         self.mem_seg = self.mem_seg[mem_keep]

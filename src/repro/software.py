@@ -228,9 +228,16 @@ def _share_symbols(syms: np.ndarray):
     except (ImportError, OSError, PermissionError):
         obs.counter("software_shm_fallbacks_total").inc()
         return None
-    view = np.frombuffer(shm.buf, dtype=np.int64, count=syms.size)
-    view[:] = syms
-    del view
+    try:
+        view = np.frombuffer(shm.buf, dtype=np.int64, count=syms.size)
+        view[:] = syms
+        del view
+    except BaseException:
+        # the segment exists but was never handed out: close and unlink
+        # here or it outlives the scan as a stray /dev/shm file
+        shm.close()
+        shm.unlink()
+        raise
     obs.counter("software_shm_scans_total").inc()
     obs.counter("software_shm_bytes_total").inc(int(syms.nbytes))
     return shm
@@ -266,10 +273,12 @@ def _attach_worker_shm(name: str):
         except (OSError, BufferError):
             pass
         _WORKER_SHM = None
+    # attach-side handles are cached for the pool's lifetime on purpose:
+    # the parent's _release_shared performs the one balanced unlink
     try:
-        shm = shared_memory.SharedMemory(name=name, track=False)
+        shm = shared_memory.SharedMemory(name=name, track=False)  # repro: noqa(R102)
     except TypeError:  # Python < 3.13: no track flag
-        shm = shared_memory.SharedMemory(name=name)
+        shm = shared_memory.SharedMemory(name=name)  # repro: noqa(R102)
     _WORKER_SHM = (name, shm)
     return shm
 

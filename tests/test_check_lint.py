@@ -1,0 +1,299 @@
+"""Pillar 2 tests: every lint rule fires on its fixture and only there.
+
+Each rule is exercised through :func:`lint_source` with a ``path`` chosen
+to trigger (or dodge) the module-scoped rules, plus the inline
+``# repro: noqa(...)`` suppression contract.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check import lint_source
+
+HOT = "src/repro/kernels/fixture.py"
+COLD = "src/repro/obs/fixture.py"
+POOL = "src/repro/software.py"
+ENGINE_BASE = "src/repro/engines/base.py"
+
+
+def codes(source, path=COLD, **kw):
+    return [d.code for d in lint_source(textwrap.dedent(source), path, **kw)]
+
+
+# ----------------------------------------------------------------------
+# R100: unparseable files are a finding, not a crash
+# ----------------------------------------------------------------------
+def test_syntax_error_is_r100():
+    diags = lint_source("def f(:\n", path="broken.py")
+    assert [d.code for d in diags] == ["R100"]
+    assert diags[0].severity == "error"
+    assert diags[0].line == 1
+
+
+# ----------------------------------------------------------------------
+# R101: dtype-less numpy constructors in hot paths
+# ----------------------------------------------------------------------
+DTYPELESS = """
+    import numpy as np
+
+    def f(n):
+        return np.zeros(n)
+"""
+
+
+def test_r101_fires_in_hot_path():
+    assert "R101" in codes(DTYPELESS, path=HOT)
+
+
+def test_r101_ignores_cold_paths():
+    assert "R101" not in codes(DTYPELESS, path=COLD)
+
+
+def test_r101_satisfied_by_explicit_dtype():
+    src = """
+        import numpy as np
+
+        def f(n):
+            return np.zeros(n, dtype=np.int64)
+    """
+    assert "R101" not in codes(src, path=HOT)
+
+
+def test_r101_sees_through_multiline_calls():
+    src = """
+        import numpy as np
+
+        def f(values):
+            return np.asarray(
+                values,
+                dtype=np.int64,
+            )
+    """
+    assert "R101" not in codes(src, path=HOT)
+
+
+def test_r101_ignores_non_constructor_attrs():
+    src = """
+        import numpy as np
+
+        def f(a):
+            return np.unique(a)
+    """
+    assert "R101" not in codes(src, path=HOT)
+
+
+# ----------------------------------------------------------------------
+# R102: SharedMemory without a close-and-unlink path
+# ----------------------------------------------------------------------
+UNGUARDED_SHM = """
+    from multiprocessing import shared_memory
+
+    def acquire(n):
+        shm = shared_memory.SharedMemory(create=True, size=n)
+        return shm
+"""
+
+
+def test_r102_fires_without_cleanup_handler():
+    assert "R102" in codes(UNGUARDED_SHM, path=POOL)
+
+
+def test_r102_satisfied_by_finally_close_and_unlink():
+    src = """
+        from multiprocessing import shared_memory
+
+        def acquire(n):
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            try:
+                return fill(shm)
+            finally:
+                shm.close()
+                shm.unlink()
+    """
+    assert "R102" not in codes(src, path=POOL)
+
+
+def test_r102_satisfied_by_release_helper():
+    src = """
+        from multiprocessing import shared_memory
+
+        def acquire(pool, n):
+            shm = shared_memory.SharedMemory(create=True, size=n)
+            try:
+                return fill(shm)
+            except OSError:
+                _release_shared(pool)
+                raise
+    """
+    assert "R102" not in codes(src, path=POOL)
+
+
+# ----------------------------------------------------------------------
+# R103: multiprocessing stays inside segment_pool
+# ----------------------------------------------------------------------
+def test_r103_fires_outside_pool_module():
+    assert "R103" in codes("import multiprocessing\n", path=COLD)
+    assert "R103" in codes(
+        "from concurrent.futures import ProcessPoolExecutor\n", path=COLD)
+
+
+def test_r103_allows_the_pool_module():
+    assert "R103" not in codes("import multiprocessing\n", path=POOL)
+
+
+def test_r103_ignores_thread_pools():
+    assert "R103" not in codes(
+        "from concurrent.futures import ThreadPoolExecutor\n", path=COLD)
+
+
+# ----------------------------------------------------------------------
+# R104: Engine instrumentation bypasses
+# ----------------------------------------------------------------------
+def test_r104_flags_init_subclass_override():
+    src = """
+        class SneakyEngine(Engine):
+            def __init_subclass__(cls, **kw):
+                pass
+    """
+    assert "R104" in codes(src)
+
+
+def test_r104_flags_run_reassignment():
+    assert "R104" in codes("SoftwareEngine.run = fast_run\n")
+
+
+def test_r104_flags_forged_marker():
+    src = """
+        def patch(fn):
+            fn.__obs_wrapped__ = True
+            return fn
+    """
+    assert "R104" in codes(src)
+
+
+def test_r104_exempts_engines_base():
+    src = """
+        class Engine:
+            def __init_subclass__(cls, **kw):
+                cls.run.__obs_wrapped__ = True
+    """
+    assert "R104" not in codes(src, path=ENGINE_BASE)
+
+
+def test_r104_ignores_plain_classes():
+    src = """
+        class Widget(Base):
+            def __init_subclass__(cls, **kw):
+                pass
+    """
+    assert "R104" not in codes(src)
+
+
+# ----------------------------------------------------------------------
+# R105: mutable defaults
+# ----------------------------------------------------------------------
+def test_r105_flags_literal_and_constructor_defaults():
+    assert "R105" in codes("def f(x=[]):\n    return x\n")
+    assert "R105" in codes("def f(x={}):\n    return x\n")
+    assert "R105" in codes("def f(x=dict()):\n    return x\n")
+    assert "R105" in codes("def f(*, x=set()):\n    return x\n")
+
+
+def test_r105_allows_none_and_immutables():
+    assert "R105" not in codes("def f(x=None, y=(), z=0):\n    return x\n")
+
+
+# ----------------------------------------------------------------------
+# R106: bare / overbroad except
+# ----------------------------------------------------------------------
+def severities(source, path=COLD):
+    return {(d.code, d.severity)
+            for d in lint_source(textwrap.dedent(source), path)}
+
+
+def test_r106_bare_except_is_error():
+    src = """
+        def f():
+            try:
+                work()
+            except:
+                pass
+    """
+    assert ("R106", "error") in severities(src)
+
+
+def test_r106_base_exception_without_reraise_is_error():
+    src = """
+        def f():
+            try:
+                work()
+            except BaseException:
+                log()
+    """
+    assert ("R106", "error") in severities(src)
+
+
+def test_r106_exception_without_reraise_is_warning():
+    src = """
+        def f():
+            try:
+                work()
+            except Exception:
+                log()
+    """
+    assert ("R106", "warning") in severities(src)
+
+
+def test_r106_allows_cleanup_and_propagate():
+    src = """
+        def f(shm):
+            try:
+                work()
+            except BaseException:
+                shm.close()
+                raise
+    """
+    assert "R106" not in codes(src)
+
+
+def test_r106_allows_narrow_handlers():
+    src = """
+        def f():
+            try:
+                work()
+            except (OSError, ValueError):
+                pass
+    """
+    assert "R106" not in codes(src)
+
+
+# ----------------------------------------------------------------------
+# noqa suppression
+# ----------------------------------------------------------------------
+def test_noqa_bare_suppresses_everything_on_the_line():
+    assert codes("def f(x=[]):  # repro: noqa\n    return x\n") == []
+
+
+def test_noqa_with_matching_code_suppresses():
+    assert codes("def f(x=[]):  # repro: noqa(R105)\n    return x\n") == []
+
+
+def test_noqa_with_other_code_does_not_suppress():
+    assert "R105" in codes("def f(x=[]):  # repro: noqa(R101)\n    return x\n")
+
+
+def test_noqa_only_covers_its_own_line():
+    src = """
+        def f(x=[]):  # repro: noqa(R105)
+            return x
+
+        def g(y=[]):
+            return y
+    """
+    assert codes(src) == ["R105"]
+
+
+def test_noqa_accepts_code_lists():
+    src = "def f(x=[]):  # repro: noqa(R101, R105)\n    return x\n"
+    assert codes(src) == []
