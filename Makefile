@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-kernels bench-cache \
+.PHONY: install test test-fast bench bench-kernels bench-dense bench-cache \
         check check-overhead report examples clean golden
 
 install:
@@ -28,6 +28,11 @@ bench:
 # smoke mode: seconds, no 5x acceptance gate; drop --smoke for the real run
 bench-kernels:
 	$(PYTHON) benchmarks/bench_kernels.py --smoke
+
+# dense-frontier kernel vs sparse lockstep; smoke mode skips the >=2x
+# acceptance gate and the trivial-partition regression gate
+bench-dense:
+	$(PYTHON) benchmarks/bench_dense.py --smoke
 
 # compilation cache cold/warm latency + profiler vectorization; smoke mode
 # skips the >=5x cold/warm and >=3x profiler acceptance gates

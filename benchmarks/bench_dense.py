@@ -1,0 +1,171 @@
+"""Microbenchmark: the dense-frontier kernel vs sparse lockstep.
+
+Times ``backend="dense"`` against ``backend="lockstep"`` (and the
+interpreted reference) across machine sizes spanning the crossover, plus
+the trivial-partition profile whose ``resolve_backend`` regression this
+kernel's PR fixed.  Asserts bit-identical outcomes everywhere and writes
+``BENCH_dense_kernels.json`` at the repository root.
+
+Gates (full mode only):
+
+- **dense >= 2x lockstep** on the acceptance config — 64-state random
+  DFA, 1 MB of input, 16 segments, one convergence set per state (the
+  same profile ``bench_kernels.py`` gates at 5x vs the interpreter);
+- ``random64/trivial`` resolves to a backend whose measured speedup vs
+  the interpreter is >= 1x (the interpreter itself qualifies: the old
+  heuristic sent it to lockstep at 0.33x).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_dense.py          # full, ~1 min
+    PYTHONPATH=src python benchmarks/bench_dense.py --smoke  # CI, seconds
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from env_info import env_info  # noqa: E402 — benchmarks/ sibling module
+
+from repro.automata.builders import random_dfa
+from repro.core.partition import StatePartition
+from repro.engines.base import even_boundaries
+from repro.kernels import DENSE_MAX_STATES, resolve_backend, run_segments_batch
+from repro.software import run_segment
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = ROOT / "BENCH_dense_kernels.json"
+
+
+def functions_equal(a, b) -> bool:
+    return len(a.outcomes) == len(b.outcomes) and all(
+        oa.converged == ob.converged
+        and oa.state == ob.state
+        and np.array_equal(oa.states, ob.states)
+        for oa, ob in zip(a.outcomes, b.outcomes)
+    )
+
+
+def build_configs(rng, n_symbols: int) -> List[Dict]:
+    """DFA/partition profiles spanning the dense/lockstep crossover."""
+    configs = []
+    for n_states, alphabet in ((16, 8), (64, 16), (256, 16), (1024, 8)):
+        configs.append({
+            "name": f"random{n_states}/discrete",
+            "dfa": random_dfa(n_states, alphabet, rng),
+            "partition": StatePartition.discrete(n_states),
+            "word": rng.integers(0, alphabet, size=n_symbols),
+            "acceptance": n_states == 64,
+        })
+    configs.append({
+        "name": "random64/trivial",
+        "dfa": random_dfa(64, 16, rng),
+        "partition": StatePartition.trivial(64),
+        "word": rng.integers(0, 16, size=n_symbols),
+        "acceptance": False,
+    })
+    return configs
+
+
+def bench_config(config: Dict, n_segments: int) -> Dict:
+    dfa, partition, word = config["dfa"], config["partition"], config["word"]
+    bounds = even_boundaries(int(word.size), n_segments)[1:]
+    segments = [word[a:b] for a, b in bounds]
+
+    begin = time.perf_counter()
+    reference = [run_segment(dfa, partition, s)[0] for s in segments]
+    python_seconds = time.perf_counter() - begin
+
+    entry = {
+        "config": config["name"],
+        "n_states": dfa.num_states,
+        "n_blocks": partition.num_blocks,
+        "n_symbols": int(word.size),
+        "n_segments": n_segments,
+        "python_seconds": python_seconds,
+        "acceptance_config": config["acceptance"],
+        "auto_backend": resolve_backend(dfa, None, partition, n_segments),
+    }
+    for backend in ("lockstep", "dense"):
+        begin = time.perf_counter()
+        functions = run_segments_batch(dfa, partition, segments, backend=backend)
+        seconds = time.perf_counter() - begin
+        if not all(functions_equal(r, f) for r, f in zip(reference, functions)):
+            raise AssertionError(f"{config['name']}/{backend} diverged from python")
+        entry[f"{backend}_seconds"] = seconds
+        entry[f"{backend}_speedup"] = python_seconds / seconds if seconds else 0.0
+        entry[f"{backend}_bit_identical"] = True
+    entry["dense_vs_lockstep"] = (
+        entry["lockstep_seconds"] / entry["dense_seconds"]
+        if entry["dense_seconds"] else 0.0
+    )
+    # the speedup (vs python) of the backend "auto" actually picks — this
+    # is the number the trivial-partition regression gate reads
+    auto = entry["auto_backend"]
+    entry["auto_backend_speedup"] = (
+        1.0 if auto == "python" else entry.get(f"{auto}_speedup", 0.0)
+    )
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny input for CI; skips the 2x acceptance gate")
+    parser.add_argument("--size", type=int, default=1_000_000,
+                        help="input symbols per configuration")
+    parser.add_argument("--segments", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=20180623)
+    args = parser.parse_args(argv)
+
+    n_symbols = 40_000 if args.smoke else args.size
+    rng = np.random.default_rng(args.seed)
+    results = []
+    for config in build_configs(rng, n_symbols):
+        entry = bench_config(config, args.segments)
+        results.append(entry)
+        print(f"{entry['config']:<20} python {entry['python_seconds']:.3f}s  "
+              f"lockstep {entry['lockstep_speedup']:5.1f}x  "
+              f"dense {entry['dense_speedup']:5.1f}x  "
+              f"dense/lockstep {entry['dense_vs_lockstep']:4.2f}x  "
+              f"auto={entry['auto_backend']}")
+        if entry["acceptance_config"] and not args.smoke \
+                and entry["dense_vs_lockstep"] < 2.0:
+            raise SystemExit(
+                f"acceptance gate failed: dense only "
+                f"{entry['dense_vs_lockstep']:.2f}x over lockstep (< 2x)"
+            )
+        if entry["config"] == "random64/trivial" and not args.smoke \
+                and entry["auto_backend_speedup"] < 1.0:
+            raise SystemExit(
+                f"regression gate failed: random64/trivial resolves to "
+                f"{entry['auto_backend']} at "
+                f"{entry['auto_backend_speedup']:.2f}x (< 1x vs interpreter)"
+            )
+
+    ARTIFACT.write_text(json.dumps(
+        {
+            "benchmark": "dense frontier kernel vs sparse lockstep",
+            "smoke": bool(args.smoke),
+            "acceptance_gate": "dense >= 2x lockstep on random64/discrete; "
+                               "random64/trivial auto backend >= 1x",
+            "dense_max_states": DENSE_MAX_STATES,
+            "env": env_info(),
+            "results": results,
+        },
+        indent=2,
+    ) + "\n")
+    print(f"wrote {ARTIFACT.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,7 @@ from repro.automata.builders import cycle_dfa, random_dfa
 from repro.core.partition import StatePartition
 from repro.core.profiling import ProfilingConfig, predict_convergence_sets
 from repro.engines.base import even_boundaries
-from repro.kernels import KERNEL_BACKENDS, run_segments_batch
+from repro.kernels import KERNEL_BACKENDS, resolve_backend, run_segments_batch
 from repro.regex.compile import compile_ruleset
 from repro.software import run_segment
 
@@ -110,6 +110,10 @@ def bench_config(config: Dict, n_segments: int) -> Dict:
         "n_segments": n_segments,
         "python_seconds": python_seconds,
         "acceptance_config": config["acceptance"],
+        # what backend="auto" would run for this profile — the heuristic's
+        # choice is part of what the bench documents (a config whose best
+        # kernel is sub-1x must resolve to "python")
+        "auto_backend": resolve_backend(dfa, None, partition, n_segments),
     }
     for backend in KERNEL_BACKENDS:
         begin = time.perf_counter()
@@ -142,11 +146,12 @@ def main(argv=None) -> int:
     for config in build_configs(rng, n_symbols):
         entry = bench_config(config, args.segments)
         results.append(entry)
-        best = max(entry["lockstep_speedup"], entry["bitset_speedup"])
+        best = max(entry[f"{b}_speedup"] for b in KERNEL_BACKENDS)
         print(f"{entry['config']:<20} python {entry['python_seconds']:.3f}s  "
               f"lockstep {entry['lockstep_speedup']:5.1f}x  "
               f"bitset {entry['bitset_speedup']:5.1f}x  "
-              f"(best {best:.1f}x)")
+              f"dense {entry['dense_speedup']:5.1f}x  "
+              f"(best {best:.1f}x, auto={entry['auto_backend']})")
         if entry["acceptance_config"] and not args.smoke and best < 5.0:
             raise SystemExit(
                 f"acceptance gate failed: best kernel speedup {best:.1f}x < 5x"

@@ -15,10 +15,10 @@ principles instead of trusting stored metadata:
   non-empty, in-range, and the cached block index agrees;
 - :func:`verify_compiled` — every derived table of a
   :class:`~repro.compilecache.artifact.CompiledDfa` (scalar rows, flat
-  int64 kernel matrix, bitset predecessor matrices) is transition-
-  equivalent to the source table, the cache key/fingerprint re-derive to
-  the stored values, the census is well-formed and the merge coverage is
-  reproducible;
+  int64 kernel matrix, bitset predecessor matrices, dtype-narrowed dense
+  table) is transition-equivalent to the source table, the cache
+  key/fingerprint re-derive to the stored values, the census is
+  well-formed and the merge coverage is reproducible;
 - :func:`verify_artifact_file` — the on-disk envelope (format version,
   key, header fingerprint) plus everything above.
 """
@@ -70,6 +70,8 @@ K107 = register_code("K107", "merge coverage does not re-derive from the census"
 K108 = register_code("K108", "census entry is not a valid state partition")
 K109 = register_code("K109", "artifact file format version mismatch")
 K110 = register_code("K110", "artifact file envelope is malformed")
+K111 = register_code("K111", "dense kernel table disagrees with the transition table")
+K112 = register_code("K112", "dense column offsets do not re-derive")
 
 
 def _err(code: str, message: str, location: str) -> Diagnostic:
@@ -251,7 +253,7 @@ def verify_compiled(compiled: "object", deep: bool = True,
                     location: str = "artifact") -> List[Diagnostic]:
     """Cross-validate every derived table of a :class:`CompiledDfa`.
 
-    The three kernel encodings must be transition-equivalent — a scan
+    Every kernel encoding must be transition-equivalent — a scan
     must return the same matches whichever backend executes it — and the
     content-addressing fields must re-derive from the actual content.
     ``deep=True`` recomputes the bitset predecessor matrices when the
@@ -311,6 +313,37 @@ def verify_compiled(compiled: "object", deep: bool = True,
                 f"table (first mismatch: {where}); the bitset backend "
                 "would follow different transitions",
                 f"{location}.bitset"))
+
+    # dense tables =~ dtype-narrowed raveled table + arange offsets
+    dense = getattr(compiled, "_dense", None)
+    if dense is not None:
+        from repro.kernels import dense_state_dtype
+
+        expect_dtype = dense_state_dtype(dfa.num_states)
+        expect_dense = table.astype(expect_dtype).ravel()
+        dense_table = getattr(dense, "table", None)
+        if not isinstance(dense_table, np.ndarray) \
+                or dense_table.dtype != expect_dtype \
+                or dense_table.shape != expect_dense.shape \
+                or not bool(np.array_equal(
+                    dense_table.astype(np.int64), expect_flat)):
+            out.append(_err(
+                K111,
+                f"dense kernel table is not the transition table narrowed "
+                f"to {expect_dtype} (the one-gather-per-position step "
+                "would follow different transitions)",
+                f"{location}.dense.table"))
+        offsets = getattr(dense, "offsets", None)
+        expect_off = np.arange(table.shape[0], dtype=np.int64) * dfa.num_states
+        if not isinstance(offsets, np.ndarray) or offsets.dtype != np.int64 \
+                or offsets.shape != expect_off.shape \
+                or not bool(np.array_equal(offsets, expect_off)):
+            out.append(_err(
+                K112,
+                "dense column offsets are not "
+                "arange(alphabet) * num_states (gathers would read the "
+                "wrong table columns)",
+                f"{location}.dense.offsets"))
 
     # partition + census
     partition = compiled.partition  # type: ignore[attr-defined]
@@ -426,5 +459,19 @@ def verify_artifact_file(path: Union[str, Path],
             K105,
             "envelope fingerprint does not match the artifact's",
             location))
+    if "dense_dtype" in payload or version == FORMAT_VERSION:
+        from repro.kernels import dense_state_dtype
+
+        try:
+            expect_dtype = str(dense_state_dtype(compiled.dfa.num_states))
+        except (AttributeError, TypeError):
+            expect_dtype = None
+        if expect_dtype is not None \
+                and payload.get("dense_dtype") != expect_dtype:
+            out.append(_err(
+                K111,
+                f"envelope dense dtype {payload.get('dense_dtype')!r} does "
+                f"not match the stored DFA's narrowing ({expect_dtype})",
+                location))
     out.extend(verify_compiled(compiled, deep=deep, location=location))
     return out

@@ -14,7 +14,7 @@ Mirrors the paper's deployment workflow:
 - ``repro plan``     — pick the best half-core allocation for a ruleset
   using the closed-form performance model;
 - ``repro software`` — measured wall-clock software CSE scan with a
-  selectable execution kernel (python/lockstep/bitset);
+  selectable execution kernel (python/lockstep/bitset/dense);
 - ``repro stats``    — pretty-print a metrics snapshot emitted by
   ``--metrics-out``;
 - ``repro check``    — static soundness verification (:mod:`repro.check`):
@@ -585,7 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("rules")
     p_sw.add_argument("input", help="binary input file")
     p_sw.add_argument("--backend", default="auto",
-                      choices=["auto", "python", "lockstep", "bitset"])
+                      choices=["auto", "python", "lockstep", "bitset", "dense"])
     p_sw.add_argument("--segments", type=int, default=16)
     p_sw.add_argument("--processes", type=int, default=0,
                       help="run segments on a process pool of this size")
@@ -634,7 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="generator seed for --family rulesets")
     p_ca.add_argument("--segments", type=int, default=16)
     p_ca.add_argument("--backend", default="auto",
-                      choices=["auto", "python", "lockstep", "bitset"])
+                      choices=["auto", "python", "lockstep", "bitset", "dense"])
     p_ca.add_argument("--cutoff", type=float, default=0.99)
     p_ca.add_argument("--inputs", type=int, default=300)
     p_ca.add_argument("--length", type=int, default=200)

@@ -11,6 +11,9 @@ matrix:
 - the bitset backend's per-symbol predecessor bit-matrices
   (:class:`repro.kernels.BitsetTables`, built lazily — they are the one
   table whose footprint grows with ``alphabet * states^2 / 64``),
+- the dense kernel's dtype-narrowed table + per-symbol column offsets
+  (:class:`repro.kernels.DenseTables`, built eagerly when the resolved
+  backend is ``"dense"``, lazily otherwise),
 - the resolved kernel backend hint for the artifact's segment count.
 
 Content addressing lives in :func:`cache_key`: the key is a digest of the
@@ -38,7 +41,7 @@ from repro.core.profiling import (
     profile_partitions,
 )
 from repro.automata.dfa import Dfa
-from repro.kernels import BitsetTables, resolve_backend
+from repro.kernels import BitsetTables, DenseTables, resolve_backend
 
 __all__ = ["CompiledDfa", "cache_key", "compile_dfa"]
 
@@ -88,6 +91,7 @@ class CompiledDfa:
     n_segments: int
     build_seconds: float = 0.0
     _bitset: Optional[BitsetTables] = field(default=None, repr=False)
+    _dense: Optional[DenseTables] = field(default=None, repr=False)
 
     @property
     def partition(self) -> StatePartition:
@@ -104,12 +108,20 @@ class CompiledDfa:
             self._bitset = BitsetTables(self.dfa)
         return self._bitset
 
+    def dense_tables(self) -> DenseTables:
+        """Dtype-narrowed dense table + column offsets, built on first use."""
+        if self._dense is None:
+            self._dense = DenseTables(self.dfa)
+        return self._dense
+
     @property
     def nbytes(self) -> int:
         """Approximate artifact footprint (tables only)."""
         total = int(self.flat_table.nbytes) + int(self.dfa.transitions.nbytes)
         if self._bitset is not None:
             total += self._bitset.nbytes
+        if self._dense is not None:
+            total += self._dense.nbytes
         return total
 
 
@@ -156,5 +168,7 @@ def compile_dfa(
     )
     if resolved == "bitset":
         compiled.bitset_tables()
+    elif resolved == "dense":
+        compiled.dense_tables()
     compiled.build_seconds = time.perf_counter() - begin
     return compiled

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Optional, Tuple, Union
 
 from repro.compilecache.artifact import CompiledDfa
+from repro.kernels.dense import dense_state_dtype
 
 __all__ = [
     "FORMAT_VERSION",
@@ -31,7 +32,11 @@ __all__ = [
     "load_artifact",
 ]
 
-FORMAT_VERSION = 1
+# version 2: the envelope records ``dense_dtype`` — the state dtype the
+# dense-frontier kernel narrows to for this machine — so a loader can
+# cross-check any stored DenseTables against the DFA's state count
+# without unpickling them first
+FORMAT_VERSION = 2
 _SUFFIX = ".cdfa"
 
 
@@ -52,6 +57,7 @@ def save_artifact(compiled: CompiledDfa, cache_dir: Union[str, Path]) -> Path:
         "format_version": FORMAT_VERSION,
         "key": compiled.key,
         "fingerprint": compiled.fingerprint,
+        "dense_dtype": str(dense_state_dtype(compiled.dfa.num_states)),
         "artifact": compiled,
     }
     fd, tmp_name = tempfile.mkstemp(
@@ -110,6 +116,13 @@ def load_artifact(
     if expected_fingerprint is not None and fingerprint != expected_fingerprint:
         raise ArtifactValidationError(
             f"artifact {path} fingerprint does not match the requesting DFA"
+        )
+    expected_dtype = str(dense_state_dtype(compiled.dfa.num_states))
+    if payload.get("dense_dtype") != expected_dtype:
+        raise ArtifactValidationError(
+            f"artifact {path} declares dense dtype "
+            f"{payload.get('dense_dtype')!r} but the stored DFA narrows to "
+            f"{expected_dtype!r}"
         )
     # checksums only prove the header matches the payload; a corrupted-
     # but-self-consistent pickle (table mutated, fingerprint re-derived)

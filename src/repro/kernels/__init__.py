@@ -10,6 +10,9 @@ kernels pay it per *symbol position of the whole scan*:
 - :mod:`repro.kernels.bitset` — uint64-packed active masks with
   precomputed per-symbol predecessor matrices (the software realization of
   the AP's one-hot step), stepping a set in O(N/64) words.
+- :mod:`repro.kernels.dense` — the dense-frontier kernel: all N states of
+  every segment advance with exactly one flat gather per symbol position
+  (dtype-narrowed table, strided collapse checks); the small-N fast path.
 - :mod:`repro.kernels.batch` — the orchestrator that runs every
   enumerative segment through one batched pass and the shared
   ``resolve_backend`` default-resolution helper.
@@ -17,16 +20,21 @@ kernels pay it per *symbol position of the whole scan*:
 
 from repro.kernels.batch import (
     BACKENDS,
+    DENSE_MAX_STATES,
     KERNEL_BACKENDS,
     resolve_backend,
     run_segments_batch,
 )
 from repro.kernels.bitset import BitsetTables
+from repro.kernels.dense import DenseTables, dense_state_dtype
 
 __all__ = [
     "BACKENDS",
+    "DENSE_MAX_STATES",
     "KERNEL_BACKENDS",
     "BitsetTables",
+    "DenseTables",
+    "dense_state_dtype",
     "resolve_backend",
     "run_segments_batch",
 ]

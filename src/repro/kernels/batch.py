@@ -36,14 +36,25 @@ from repro.core.partition import StatePartition
 from repro.core.transition import CsOutcome, SegmentFunction
 from repro.engines.base import stack_segments
 from repro.kernels.bitset import BitsetSetFlows, BitsetTables
+from repro.kernels.dense import DenseTables, run_segments_dense
 from repro.kernels.lockstep import FlatSetFlows, ScalarPool
 
-__all__ = ["BACKENDS", "KERNEL_BACKENDS", "resolve_backend", "run_segments_batch"]
+__all__ = [
+    "BACKENDS",
+    "DENSE_MAX_STATES",
+    "KERNEL_BACKENDS",
+    "resolve_backend",
+    "run_segments_batch",
+]
 
 #: every executable backend of the software CSE path
-BACKENDS = ("python", "lockstep", "bitset")
+BACKENDS = ("python", "lockstep", "bitset", "dense")
 #: the vectorized kernels (everything but the interpreted reference path)
-KERNEL_BACKENDS = ("lockstep", "bitset")
+KERNEL_BACKENDS = ("lockstep", "bitset", "dense")
+#: measured crossover: below this the dense frontier's one-gather step
+#: beats sparse lockstep; above it the N-wide gather outgrows the cache
+#: and the sparse member arrays win (benchmarks/bench_dense.py)
+DENSE_MAX_STATES = 512
 
 def resolve_backend(
     dfa: Dfa,
@@ -59,16 +70,22 @@ def resolve_backend(
     :func:`repro.software.software_cse_scan`, ``stream.StreamScanner`` and
     ``stream.FleetScanner``.
 
-    The measured trade-off (see ``benchmarks/bench_kernels.py``): the
-    lockstep kernel wins whenever there is enough batched work per symbol
-    position — many scalar flows (``n_blocks * segments``) or wide
-    convergence sets whose diverged phase the interpreter would pay
-    ``unique``/``take`` churn for.  The interpreted path only wins when
-    both dimensions are tiny.  ``"bitset"`` is never auto-picked: in this
-    NumPy realization its O(N/64)-word step is dominated by the flat
-    gather except for near-full sets on sub-64-state machines; it stays an
-    explicit choice (and the differential-testing model of the AP's
-    one-hot step).
+    The measured trade-off (``benchmarks/bench_kernels.py`` and
+    ``benchmarks/bench_dense.py``): a *trivial* partition (one block, or
+    none supplied) gives the kernels nothing to batch — every segment is
+    one speculative frontier with no scalar flows to amortize — and the
+    lockstep kernel measured **0.33x** against the interpreter on that
+    profile (``random64/trivial``), so trivial partitions always resolve
+    to the interpreted path.  With a real partition, batching pays as soon
+    as there is enough work per symbol position — many scalar flows
+    (``n_blocks * segments``) or wide convergence sets.  Among the
+    kernels, the dense frontier's one-gather step wins up to
+    :data:`DENSE_MAX_STATES` states; above that the ``n_segments x N``
+    gather outgrows the cache and sparse lockstep takes over.
+    ``"bitset"`` is never auto-picked: in this NumPy realization its
+    O(N/64)-word step is dominated by the flat gather except for
+    near-full sets on sub-64-state machines; it stays an explicit choice
+    (and the differential-testing model of the AP's one-hot step).
     """
     if backend in BACKENDS:
         obs.counter("kernels_backend_resolved_total",
@@ -85,8 +102,8 @@ def resolve_backend(
         n_blocks, max_block = len(sizes), max(sizes)
     enum_segments = max(1, n_segments - 1)
     chosen = "python"
-    if max_block > 8 or n_blocks * enum_segments >= 48:
-        chosen = "lockstep"
+    if n_blocks > 1 and (max_block > 8 or n_blocks * enum_segments >= 48):
+        chosen = "dense" if dfa.num_states <= DENSE_MAX_STATES else "lockstep"
     obs.counter("kernels_backend_resolved_total",
                 requested="auto", backend=chosen).inc()
     return chosen
@@ -99,15 +116,19 @@ def run_segments_batch(
     backend: str = "lockstep",
     tables: Optional[BitsetTables] = None,
     flat: Optional[np.ndarray] = None,
+    dense: Optional[DenseTables] = None,
+    stride: Optional[int] = None,
 ) -> List[SegmentFunction]:
     """Execute every enumerative segment's set-flows in one batched pass.
 
     Returns one :class:`SegmentFunction` per entry of ``segments``,
     bit-identical to running :func:`repro.software.run_segment` per
     segment.  ``tables`` optionally reuses precomputed
-    :class:`BitsetTables` and ``flat`` an int64-raveled transition matrix
-    across calls (streaming, or a cached
-    :class:`repro.compilecache.CompiledDfa` artifact).
+    :class:`BitsetTables`, ``flat`` an int64-raveled transition matrix and
+    ``dense`` precomputed :class:`DenseTables` across calls (streaming, or
+    a cached :class:`repro.compilecache.CompiledDfa` artifact).
+    ``stride`` pins the dense kernel's collapse-check gap (tests; the
+    default adapts).
     """
     if backend not in KERNEL_BACKENDS:
         raise ValueError(f"batched execution needs one of {KERNEL_BACKENDS}")
@@ -117,8 +138,29 @@ def run_segments_batch(
         return []
     batch_wall = time.time()
     batch_begin = time.perf_counter()
-    n_collapsed = 0
     labels = partition.labels()
+    if backend == "dense":
+        grid, stats = run_segments_dense(
+            dfa, partition, segments, tables=dense, stride=stride
+        )
+        if obs.is_enabled():
+            obs.record_span("kernels.batch", batch_wall,
+                            time.perf_counter() - batch_begin,
+                            backend=backend, segments=n_seg)
+            obs.counter("kernels_batch_runs_total", backend=backend).inc()
+            obs.counter("kernels_segments_total", backend=backend).inc(n_seg)
+            obs.counter("kernels_positions_total",
+                        backend=backend).inc(stats["positions"])
+            obs.counter("kernels_collapses_total",
+                        backend=backend).inc(stats["collapses"])
+            obs.counter("kernels_dense_positions_total").inc(
+                stats["dense_positions"])
+            obs.counter("kernels_dense_stride_checks_total").inc(
+                stats["stride_checks"])
+            obs.counter("kernels_dense_degraded_segments_total").inc(
+                stats["degraded_segments"])
+        return [SegmentFunction(list(outcomes), labels) for outcomes in grid]
+    n_collapsed = 0
     blocks = partition.block_arrays()
     n_states = dfa.num_states
     if flat is None:

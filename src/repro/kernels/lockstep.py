@@ -143,6 +143,17 @@ class FlatSetFlows:
             (int(mins[f]), int(self.flow_seg[f]), int(self.flow_block[f]))
             for f in hit.tolist()
         ]
+        if hit.size == self.n_flows:
+            # everything collapsed at once: jump straight to the empty
+            # pool instead of rebuilding starts/new_index for zero flows
+            # (subsequent step() calls early-return on n_flows == 0)
+            self.members = np.empty(0, dtype=np.int64)
+            self.mem_seg = np.empty(0, dtype=np.int64)
+            self.mem_local = np.empty(0, dtype=np.int64)
+            self.flow_seg = np.empty(0, dtype=np.int64)
+            self.flow_block = np.empty(0, dtype=np.int64)
+            self.starts = np.empty(0, dtype=np.int64)
+            return collapsed
         keep = np.ones(self.n_flows, dtype=bool)
         keep[hit] = False
         new_index = np.full(self.n_flows, -1, dtype=np.int64)

@@ -24,7 +24,11 @@ Three execution backends are available (``backend=``):
   fancy-indexed gather per symbol position (:mod:`repro.kernels`);
 - ``"bitset"`` — diverged sets stepped as uint64-packed active masks
   (the software realization of the AP's one-hot step), degrading to the
-  lockstep scalar pool on collapse.
+  lockstep scalar pool on collapse;
+- ``"dense"`` — every segment keeps one dense frontier of all N states
+  and advances it with exactly one flat gather per symbol position
+  (dtype-narrowed table, strided collapse checks); the small-N fast path
+  (:mod:`repro.kernels.dense`).
 
 ``backend="auto"`` picks via :func:`repro.kernels.resolve_backend`, the
 same helper the streaming layer uses.
@@ -106,8 +110,8 @@ def run_segment(
 
     Returns the segment transition function and the measured seconds.
     ``backend`` selects the interpreted reference path (``"python"``) or a
-    vectorized kernel (``"lockstep"`` / ``"bitset"``) — results are
-    bit-identical.
+    vectorized kernel (``"lockstep"`` / ``"bitset"`` / ``"dense"``) —
+    results are bit-identical.
     """
     if backend != "python":
         segment = as_symbols(segment)
@@ -386,7 +390,8 @@ def software_cse_scan(
 
     ``compiled`` optionally supplies a
     :class:`repro.compilecache.CompiledDfa` artifact whose prebuilt tables
-    (scalar rows, flat kernel matrix, bitset matrices) are reused instead
+    (scalar rows, flat kernel matrix, bitset matrices, dense table) are
+    reused instead
     of being derived per scan; results are bit-identical with or without
     it.  ``use_shared_memory`` controls how segments reach a
     fingerprint-matched process pool: ``None`` (auto) and ``True`` place
@@ -480,6 +485,11 @@ def software_cse_scan(
                 else None
             ),
             flat=compiled.flat_table if compiled is not None else None,
+            dense=(
+                compiled.dense_tables()
+                if compiled is not None and backend == "dense"
+                else None
+            ),
         )
         kernel_elapsed = time.perf_counter() - kernel_begin
         enum_seconds = [kernel_elapsed / max(1, len(enum_bounds))] * len(enum_bounds)

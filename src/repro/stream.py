@@ -56,7 +56,9 @@ class StreamScanner:
         chunks when no model ``engine`` is given.  ``None``/``"auto"``
         resolves through :func:`repro.kernels.resolve_backend` (the same
         partition-friendly-profile helper :class:`FleetScanner` uses);
-        ``"python"`` forces the plain table walk.
+        ``"python"`` forces the plain table walk, and the vectorized
+        kernels (``"lockstep"``/``"bitset"``/``"dense"``) are accepted by
+        name.
     partition:
         Convergence partition for the kernel path; defaults to the
         trivial single-set partition.

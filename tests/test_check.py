@@ -218,6 +218,35 @@ def test_tampered_coverage_is_k107(compiled):
     assert error_codes(verify_compiled(compiled)) == {"K107"}
 
 
+def test_mutated_dense_table_is_k111(compiled):
+    compiled.dense_tables()  # build, then corrupt one transition
+    compiled._dense.table = compiled._dense.table.copy()
+    compiled._dense.table[0] = (compiled._dense.table[0] + 1) % 3
+    assert error_codes(verify_compiled(compiled)) == {"K111"}
+
+
+def test_wrong_dense_dtype_is_k111(compiled):
+    import numpy as np
+
+    compiled.dense_tables()
+    # same values, wrong width: the narrowing contract is part of the
+    # artifact (store.py records it in the envelope)
+    compiled._dense.table = compiled._dense.table.astype(np.int32)
+    assert error_codes(verify_compiled(compiled)) == {"K111"}
+
+
+def test_mutated_dense_offsets_is_k112(compiled):
+    compiled.dense_tables()
+    compiled._dense.offsets = compiled._dense.offsets.copy()
+    compiled._dense.offsets[1] += 1
+    assert error_codes(verify_compiled(compiled)) == {"K112"}
+
+
+def test_unbuilt_dense_tables_verify_clean(compiled):
+    assert compiled._dense is None
+    assert not error_codes(verify_compiled(compiled, deep=True))
+
+
 def test_invalid_census_entry_is_k108(compiled):
     entry = next(iter(compiled.census))
     tampered = tampered_partition([{0, 1}, {1, 2}],
@@ -338,6 +367,15 @@ def test_verify_artifact_file_reports_envelope_and_content(compiled, tmp_path):
 
     path.write_bytes(b"not a pickle")
     assert "K110" in error_codes(verify_artifact_file(path))
+
+
+def test_envelope_dense_dtype_mismatch_is_k111(compiled, tmp_path):
+    path = save_artifact(compiled, tmp_path)
+    payload = pickle.loads(path.read_bytes())
+    assert payload["dense_dtype"] == "uint8"  # mod3: 3 states narrow to u8
+    payload["dense_dtype"] = "uint16"
+    path.write_bytes(pickle.dumps(payload))
+    assert "K111" in error_codes(verify_artifact_file(path))
 
 
 # ----------------------------------------------------------------------

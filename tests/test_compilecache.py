@@ -183,6 +183,33 @@ class TestDiskTier:
         with pytest.raises(ArtifactValidationError):
             load_artifact(tmp_path, compiled.key)
 
+    def test_dense_dtype_mismatch_raises(self, tmp_path):
+        dfa = _random_dfa()
+        compiled = compile_dfa(dfa, profiling=FAST)
+        save_artifact(compiled, tmp_path)
+        path = artifact_path(tmp_path, compiled.key)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["dense_dtype"] == "uint8"
+        payload["dense_dtype"] = "uint16"
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(ArtifactValidationError, match="dense dtype"):
+            load_artifact(tmp_path, compiled.key)
+
+    def test_dense_tables_survive_round_trip(self, tmp_path):
+        dfa = _random_dfa()
+        compiled = compile_dfa(dfa, profiling=FAST, backend="dense")
+        assert compiled._dense is not None  # eager for resolved "dense"
+        save_artifact(compiled, tmp_path)
+        loaded = load_artifact(tmp_path, compiled.key, dfa.fingerprint)
+        assert loaded._dense is not None
+        assert loaded._dense.dtype == compiled._dense.dtype
+        np.testing.assert_array_equal(
+            loaded._dense.table, compiled._dense.table
+        )
+        np.testing.assert_array_equal(
+            loaded._dense.offsets, compiled._dense.offsets
+        )
+
     def test_fingerprint_mismatch_raises(self, tmp_path):
         compiled = compile_dfa(_random_dfa(), profiling=FAST)
         save_artifact(compiled, tmp_path)
@@ -237,7 +264,7 @@ def _functional(run):
 
 
 class TestScanEquivalence:
-    @pytest.mark.parametrize("backend", ["python", "lockstep", "bitset"])
+    @pytest.mark.parametrize("backend", ["python", "lockstep", "bitset", "dense"])
     def test_cold_warm_disk_bit_identical(self, backend, tmp_path):
         dfa = _random_dfa(seed=21, n_states=24, n_symbols=12)
         syms = _symbols(dfa, n=6000)
@@ -272,7 +299,7 @@ class TestScanEquivalence:
         assert _functional(run) == _functional(reference)
 
     @given(seed=st.integers(0, 2**16), backend=st.sampled_from(
-        ["python", "lockstep", "bitset"]))
+        ["python", "lockstep", "bitset", "dense"]))
     @settings(max_examples=12, deadline=None)
     def test_property_cold_warm_disk_identical(self, seed, backend, tmp_path_factory):
         dfa = _random_dfa(seed=seed, n_states=10, n_symbols=5)

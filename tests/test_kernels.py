@@ -134,6 +134,103 @@ class TestBatchEquivalence:
             )
 
 
+class TestDenseKernel:
+    def test_state_dtype_narrowing(self):
+        from repro.kernels import dense_state_dtype
+
+        assert dense_state_dtype(2) == np.uint8
+        assert dense_state_dtype(256) == np.uint8
+        assert dense_state_dtype(257) == np.uint16
+        assert dense_state_dtype(1 << 16) == np.uint16
+        assert dense_state_dtype((1 << 16) + 1) == np.int64
+
+    def test_tables_narrow_and_roundtrip(self, random_dfa_8):
+        from repro.kernels import DenseTables
+
+        tables = DenseTables(random_dfa_8)
+        assert tables.dtype == np.uint8
+        assert tables.table.dtype == np.uint8
+        assert np.array_equal(
+            tables.table.astype(np.int64),
+            random_dfa_8.transitions.astype(np.int64).ravel(),
+        )
+        assert tables.offsets.dtype == np.int64
+        assert tables.nbytes == tables.table.nbytes + tables.offsets.nbytes
+
+    @pytest.mark.parametrize("stride", [1, 7, 64, None])
+    def test_stride_never_changes_outcomes(self, random_dfa_8, rng, stride):
+        segments = [rng.integers(0, 4, size=n) for n in (90, 41, 7, 0)]
+        partition = StatePartition.from_labels([0, 0, 1, 2, 2, 2, 3, 3])
+        reference = [run_segment(random_dfa_8, partition, s)[0]
+                     for s in segments]
+        functions = run_segments_batch(
+            random_dfa_8, partition, segments, backend="dense", stride=stride
+        )
+        for ref, fn in zip(reference, functions):
+            assert_functions_equal(ref, fn)
+
+    def test_invalid_stride_rejected(self, random_dfa_8):
+        from repro.kernels.dense import run_segments_dense
+
+        with pytest.raises(ValueError):
+            run_segments_dense(
+                random_dfa_8, StatePartition.trivial(8),
+                [np.array([0])], stride=0,
+            )
+
+    def test_uniform_segment_degrades(self):
+        # symbol 1 is absorbing: the whole frontier collapses to the sink,
+        # after which the segment leaves the dense gather
+        from repro.kernels.dense import run_segments_dense
+
+        table = np.array([[1, 2, 0], [2, 2, 2]], dtype=np.int32)
+        dfa = Dfa(table, 0, [1])
+        partition = StatePartition.from_labels([0, 0, 1])
+        segment = np.array([1] + [0] * 200, dtype=np.int64)
+        grid, stats = run_segments_dense(
+            dfa, partition, [segment], stride=1
+        )
+        assert stats["degraded_segments"] == 1
+        assert stats["dense_positions"] < segment.size
+        assert all(o.converged for o in grid[0])
+        want, _ = run_segment(dfa, partition, segment)
+        for got, ref in zip(grid[0], want.outcomes):
+            assert got.state == ref.state
+            assert np.array_equal(got.states, ref.states)
+
+    def test_adaptive_stride_checks_less_than_every_position(self, rng):
+        from repro.kernels.dense import run_segments_dense
+
+        dfa = cycle_dfa(7)  # permutation: never converges, stride grows
+        segments = [rng.integers(0, 2, size=4000)]
+        _, stats = run_segments_dense(
+            dfa, StatePartition.trivial(7), segments
+        )
+        assert stats["stride_checks"] < stats["positions"] // 8
+
+
+class TestFlatSetFlowsShortCircuit:
+    def test_full_collapse_empties_pool(self):
+        from repro.kernels.lockstep import FlatSetFlows
+
+        # symbol 0 maps everything to state 1: both flows collapse at once
+        table = np.array([[1, 1, 1, 1]], dtype=np.int32)
+        flat = table.astype(np.int64).ravel()
+        blocks = [np.array([0, 1], dtype=np.int64),
+                  np.array([2, 3], dtype=np.int64)]
+        flows = FlatSetFlows(flat, blocks, np.array([0, 1], dtype=np.int64), 1)
+        assert flows.n_flows == 2
+        col_off = np.zeros(1, dtype=np.int64)
+        collapsed = flows.step(col_off)
+        assert sorted(c[0] for c in collapsed) == [1, 1]
+        assert flows.n_flows == 0
+        assert flows.members.size == 0
+        assert flows.starts.size == 0
+        # the empty pool keeps stepping as a no-op
+        assert flows.step(col_off) == []
+        assert flows.final_outcomes() == []
+
+
 class TestStackSegments:
     def test_ragged_padding(self):
         matrix, lengths = stack_segments(
@@ -159,15 +256,34 @@ class TestResolveBackend:
         with pytest.raises(ValueError):
             resolve_backend(random_dfa_8, "simd")
 
-    def test_wide_sets_pick_lockstep(self, rng):
+    def test_trivial_partition_resolves_interpreted(self, rng):
+        # regression pinned by BENCH_software_kernels.json: random64 with
+        # the trivial partition ran the lockstep kernel at 0.33x vs the
+        # interpreter.  One block gives the kernels nothing to batch, so
+        # trivial (and absent) partitions must resolve to "python".
         dfa = random_dfa(64, 8, rng)
-        assert resolve_backend(dfa, None, StatePartition.trivial(64)) == "lockstep"
-        assert resolve_backend(dfa, "auto") == "lockstep"
+        trivial = StatePartition.trivial(64)
+        assert resolve_backend(dfa, None, trivial, 16) == "python"
+        assert resolve_backend(dfa, "auto", trivial, 16) == "python"
+        assert resolve_backend(dfa, "auto", None, 16) == "python"
 
-    def test_many_flows_pick_lockstep(self, rng):
+    def test_wide_sets_pick_dense_below_crossover(self, rng):
+        dfa = random_dfa(64, 8, rng)
+        partition = StatePartition.from_labels([i % 2 for i in range(64)])
+        assert resolve_backend(dfa, None, partition, 16) == "dense"
+
+    def test_wide_sets_pick_lockstep_above_crossover(self, rng):
+        from repro.kernels import DENSE_MAX_STATES
+
+        n = DENSE_MAX_STATES * 2
+        dfa = random_dfa(n, 4, rng)
+        partition = StatePartition.from_labels([i % 2 for i in range(n)])
+        assert resolve_backend(dfa, None, partition, 16) == "lockstep"
+
+    def test_many_flows_pick_dense(self, rng):
         dfa = random_dfa(16, 4, rng)
         partition = StatePartition.discrete(16)
-        assert resolve_backend(dfa, None, partition, 16) == "lockstep"
+        assert resolve_backend(dfa, None, partition, 16) == "dense"
 
     def test_tiny_workload_stays_python(self, random_dfa_8):
         partition = StatePartition.from_labels([0, 0, 1, 1, 2, 2, 3, 3])

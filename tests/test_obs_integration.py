@@ -133,7 +133,7 @@ class TestNoopBitIdentical:
         assert plain.reexec_segments == instrumented.reexec_segments
         assert plain.backend == instrumented.backend == "lockstep"
 
-    @pytest.mark.parametrize("backend", ["lockstep", "bitset"])
+    @pytest.mark.parametrize("backend", ["lockstep", "bitset", "dense"])
     def test_kernel_outcomes_identical(self, dfa, word, backend):
         partition = StatePartition.discrete(dfa.num_states)
         segments = [word[:2000], word[2000:4000], word[4000:]]
@@ -234,7 +234,7 @@ class TestBackendRecording:
         run = software_cse_scan(dfa, word, partition, n_segments=8,
                                 backend="auto")
         assert run.requested_backend == "auto"
-        assert run.backend in ("python", "lockstep")
+        assert run.backend in ("python", "lockstep", "dense")
 
     def test_explicit_backend_passthrough(self, dfa, word):
         partition = StatePartition.trivial(dfa.num_states)

@@ -73,7 +73,7 @@ class TestBackendEquivalence:
     def test_scan_matches_oracle_all_backends(self, dwp, n_segments):
         dfa, word, partition = dwp
         want = dfa.run(word)
-        for backend in ("python", "lockstep", "bitset", "auto"):
+        for backend in ("python", "lockstep", "bitset", "dense", "auto"):
             run = software_cse_scan(
                 dfa, word, partition, n_segments=n_segments, backend=backend
             )
@@ -117,6 +117,75 @@ class TestBackendEquivalence:
         if word.count(0):
             assert reference.outcomes[0].converged
             assert reference.outcomes[0].state == sink
+
+
+class TestDenseEquivalence:
+    """The dense-frontier kernel is exact for every stride and dtype."""
+
+    @given(dfa_word_partition(), st.integers(1, 5),
+           st.sampled_from([1, 7, 64]))
+    @settings(max_examples=60, deadline=None)
+    def test_stride_matches_python(self, dwp, n_segments, stride):
+        dfa, word, partition = dwp
+        bounds = even_boundaries(word.size, n_segments)
+        segments = [word[a:b] for a, b in bounds]
+        reference = [run_segment(dfa, partition, s)[0] for s in segments]
+        functions = run_segments_batch(
+            dfa, partition, segments, "dense", stride=stride
+        )
+        for ref, fn in zip(reference, functions):
+            assert_functions_equal(ref, fn)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 4),
+           st.sampled_from([1, 7, 64]))
+    @settings(max_examples=15, deadline=None)
+    def test_uint16_machines_match(self, seed, n_segments, stride):
+        # > 256 states forces the uint16 narrowing path
+        from repro.kernels import DenseTables, dense_state_dtype
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(257, 400))
+        k = int(rng.integers(2, 4))
+        table = rng.integers(0, n, size=(k, n)).astype(np.int32)
+        dfa = Dfa(table, 0, {0})
+        assert dense_state_dtype(n) == np.uint16
+        assert DenseTables(dfa).dtype == np.uint16
+        labels = rng.integers(0, 4, size=n).tolist()
+        partition = StatePartition.from_labels(labels)
+        word = rng.integers(0, k, size=int(rng.integers(1, 150)))
+        bounds = even_boundaries(word.size, n_segments)
+        segments = [word[a:b] for a, b in bounds]
+        reference = [run_segment(dfa, partition, s)[0] for s in segments]
+        functions = run_segments_batch(
+            dfa, partition, segments, "dense", stride=stride
+        )
+        for ref, fn in zip(reference, functions):
+            assert_functions_equal(ref, fn)
+
+    @given(dfa_word_partition(), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_collapse_counter_parity(self, dwp, n_segments):
+        # every backend must report the same number of collapsed
+        # convergence sets (positions_total is *not* invariant: the
+        # interpreted path sums per-segment lengths, the batched kernels
+        # count the padded maximum)
+        from repro import obs
+
+        dfa, word, partition = dwp
+        bounds = even_boundaries(word.size, n_segments)
+        segments = [word[a:b] for a, b in bounds]
+        counts = {}
+        for backend in ("python", "lockstep", "dense"):
+            with obs.using() as registry:
+                if backend == "python":
+                    for s in segments:
+                        run_segment(dfa, partition, s, backend="python")
+                else:
+                    run_segments_batch(dfa, partition, segments, backend)
+            counts[backend] = registry.get(
+                "kernels_collapses_total", backend=backend
+            ).value
+        assert counts["python"] == counts["lockstep"] == counts["dense"]
 
 
 class TestBitsetVsReference:
