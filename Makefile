@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast bench bench-kernels bench-dense bench-cache \
-        check check-overhead report examples clean golden
+        bench-fleet check check-overhead report examples clean golden
 
 install:
 	$(PYTHON) setup.py develop
@@ -38,6 +38,11 @@ bench-dense:
 # skips the >=5x cold/warm and >=3x profiler acceptance gates
 bench-cache:
 	$(PYTHON) benchmarks/bench_cache.py --smoke
+
+# sharded fleet scan vs the per-machine loop; smoke mode skips the >=3x
+# acceptance gate on the 64-ruleset fleet
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet.py --smoke
 
 # instrumented vs no-op scan on the bench smoke config; fails above 10%
 check-overhead:

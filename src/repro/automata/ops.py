@@ -17,6 +17,7 @@ import numpy as np
 from repro.automata.dfa import Dfa
 
 __all__ = [
+    "ProductSizeExceeded",
     "product",
     "intersect",
     "union",
@@ -27,6 +28,16 @@ __all__ = [
     "equivalent",
     "distinguishing_word",
 ]
+
+
+class ProductSizeExceeded(ValueError):
+    """A reachable product construction outgrew its ``max_states`` budget.
+
+    Raised *during* the breadth-first search, before the exploded table is
+    materialized — product state counts grow multiplicatively in the worst
+    case, and a caller with a budget (the fleet shard planner, a dense
+    dtype ceiling) needs the failure early and cheap.
+    """
 
 
 def complement(dfa: Dfa) -> Dfa:
@@ -40,7 +51,8 @@ def complement(dfa: Dfa) -> Dfa:
 
 
 def product(
-    a: Dfa, b: Dfa, accept: Callable[[bool, bool], bool]
+    a: Dfa, b: Dfa, accept: Callable[[bool, bool], bool],
+    max_states: Optional[int] = None,
 ) -> Dfa:
     """Reachable product automaton with a boolean acceptance combiner.
 
@@ -48,6 +60,11 @@ def product(
     component memberships — ``and`` gives intersection, ``or`` union,
     ``lambda x, y: x and not y`` difference, ``xor`` symmetric difference
     (the workhorse of :func:`equivalent`).
+
+    ``max_states`` bounds the reachable construction: discovering state
+    number ``max_states + 1`` raises :class:`ProductSizeExceeded`
+    immediately instead of materializing an exploded table.  Planners
+    (``repro.fleet``) use this as an exact go/no-go cost probe.
     """
     if a.alphabet_size != b.alphabet_size:
         raise ValueError("product requires equal alphabets")
@@ -66,6 +83,11 @@ def product(
         for c in range(alphabet):
             nxt = (int(a.transitions[c, qa]), int(b.transitions[c, qb]))
             if nxt not in ids:
+                if max_states is not None and len(ids) >= max_states:
+                    raise ProductSizeExceeded(
+                        f"reachable product exceeds {max_states} states "
+                        f"({a.num_states} x {b.num_states} components)"
+                    )
                 ids[nxt] = len(ids)
                 worklist.append(nxt)
             row[c] = ids[nxt]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import List, Optional, Set, Union
+from typing import List, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -38,6 +38,7 @@ __all__ = [
     "verify_partition",
     "verify_compiled",
     "verify_artifact_file",
+    "verify_shard",
 ]
 
 # ----------------------------------------------------------------------
@@ -72,6 +73,10 @@ K109 = register_code("K109", "artifact file format version mismatch")
 K110 = register_code("K110", "artifact file envelope is malformed")
 K111 = register_code("K111", "dense kernel table disagrees with the transition table")
 K112 = register_code("K112", "dense column offsets do not re-derive")
+K120 = register_code("K120", "shard key does not re-derive from member fingerprints")
+K121 = register_code("K121", "shard demux map is malformed or misses members")
+K122 = register_code("K122", "shard demux disagrees with member transitions")
+K123 = register_code("K123", "shard accepting structure disagrees with members")
 
 
 def _err(code: str, message: str, location: str) -> Diagnostic:
@@ -412,6 +417,174 @@ def verify_compiled(compiled: "object", deep: bool = True,
             "stored cache key does not re-derive from the artifact's "
             "fingerprint and compile parameters",
             f"{location}.key"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# fleet shard artifacts
+# ----------------------------------------------------------------------
+def verify_shard(shard: "object",
+                 members: Optional[Sequence["object"]] = None,
+                 deep: bool = True,
+                 location: str = "shard") -> List[Diagnostic]:
+    """Soundness of a :class:`~repro.fleet.ShardMachine` artifact.
+
+    A shard's correctness rests on one invariant: the product state
+    after any input is exactly the tuple of member states the demux map
+    decodes it to.  That is checked *structurally* — one matrix identity
+    per member instead of sample inputs:
+
+    - the stored :attr:`key` re-derives from the member fingerprints
+      (sorted, so fold order cannot change identity) — K120;
+    - the demux map covers every member with in-range states — K121;
+    - with ``members`` given: fingerprints match, the demux commutes
+      with the transition tables (``demux[delta(c, p), m] ==
+      delta_m(c, demux[p, m])`` for all symbols/states) and decodes the
+      start state to every member's start — K122;
+    - ``member_accept`` rows equal the members' accepting masks under
+      the demux, and the shard machine accepts exactly the union — K123.
+
+    The embedded product DFA gets the full :func:`verify_dfa` treatment
+    (``deep`` forwards to it).
+    """
+    from repro.fleet.shard import shard_key
+
+    out: List[Diagnostic] = []
+    dfa = getattr(shard, "dfa", None)
+    out.extend(verify_dfa(dfa, deep=deep, location=f"{location}.dfa"))
+    if any(d.severity == "error" for d in out):
+        return out  # demux checks would chase a corrupt table
+    n_states = dfa.num_states  # type: ignore[attr-defined]
+
+    fingerprints = tuple(getattr(shard, "member_fingerprints", ()))
+    indices = tuple(getattr(shard, "member_indices", ()))
+    n_members = len(fingerprints)
+    if n_members == 0 or len(indices) != n_members:
+        out.append(_err(
+            K121,
+            f"{n_members} member fingerprint(s) but {len(indices)} member "
+            "index(es); a shard names each member exactly once",
+            f"{location}.member_indices"))
+        return out
+
+    # content addressing: the key must re-derive, order-insensitively
+    expect_key = shard_key(fingerprints)
+    if expect_key != getattr(shard, "key", None):
+        out.append(_err(
+            K120,
+            "stored shard key does not re-derive from the member "
+            "fingerprints (the artifact would be served for the wrong "
+            "member set)",
+            f"{location}.key"))
+
+    # demux map shape / range
+    demux = getattr(shard, "demux", None)
+    if not isinstance(demux, np.ndarray) or demux.ndim != 2 \
+            or not np.issubdtype(demux.dtype, np.integer) \
+            or demux.shape[0] != n_states \
+            or demux.shape[1] != n_members:
+        shape = getattr(demux, "shape", None)
+        out.append(_err(
+            K121,
+            f"demux map shape {shape!r} is not (num_states={n_states}, "
+            f"n_members={n_members}); some members could never be "
+            "demultiplexed",
+            f"{location}.demux"))
+        return out
+    if demux.size and int(demux.min()) < 0:
+        out.append(_err(
+            K121,
+            "demux map contains negative member states",
+            f"{location}.demux"))
+        return out
+
+    member_accept = getattr(shard, "member_accept", None)
+    accept_ok = isinstance(member_accept, np.ndarray) \
+        and member_accept.shape == (n_members, n_states) \
+        and member_accept.dtype == np.bool_
+    if not accept_ok:
+        out.append(_err(
+            K123,
+            f"member_accept is not a (n_members={n_members}, "
+            f"num_states={n_states}) bool matrix; report demux would "
+            "misattribute events",
+            f"{location}.member_accept"))
+    elif not bool(np.array_equal(
+            member_accept.any(axis=0),
+            dfa.accepting_mask.astype(bool))):  # type: ignore[attr-defined]
+        out.append(_err(
+            K123,
+            "shard accepting mask is not the union of the member accept "
+            "rows (the product would fire on the wrong states)",
+            f"{location}.member_accept"))
+
+    if members is None:
+        return out
+
+    # cross-validation against the actual member machines
+    if len(members) != n_members:
+        out.append(_err(
+            K121,
+            f"{len(members)} member machine(s) supplied for a "
+            f"{n_members}-member shard",
+            f"{location}.members"))
+        return out
+    table = dfa.transitions  # type: ignore[attr-defined]
+    for m, member in enumerate(members):
+        mem_diags = verify_dfa(member, deep=False,
+                               location=f"{location}.members[{m}]")
+        errors = [d for d in mem_diags if d.severity == "error"]
+        if errors:
+            out.extend(errors)
+            continue
+        if member.fingerprint != fingerprints[m]:  # type: ignore[attr-defined]
+            out.append(_err(
+                K120,
+                f"member {m} fingerprint does not match the stored one",
+                f"{location}.member_fingerprints[{m}]"))
+            continue
+        col = demux[:, m]
+        mem_states = member.num_states  # type: ignore[attr-defined]
+        if int(col.max()) >= mem_states:
+            out.append(_err(
+                K121,
+                f"demux column {m} exceeds member state range "
+                f"[0, {mem_states})",
+                f"{location}.demux"))
+            continue
+        mem_table = member.transitions  # type: ignore[attr-defined]
+        if mem_table.shape[0] != table.shape[0]:
+            out.append(_err(
+                K122,
+                f"member {m} alphabet {mem_table.shape[0]} differs from "
+                f"the shard's {table.shape[0]}",
+                f"{location}.members[{m}]"))
+            continue
+        # the demux must commute with one step of both machines
+        if not bool(np.array_equal(col[table], mem_table[:, col])):
+            out.append(_err(
+                K122,
+                f"demux column {m} does not commute with the transition "
+                "tables: after some symbol the decoded member state is "
+                "not the state the member itself would reach",
+                f"{location}.demux"))
+        start = dfa.start  # type: ignore[attr-defined]
+        if int(col[start]) != int(member.start):  # type: ignore[attr-defined]
+            out.append(_err(
+                K122,
+                f"shard start decodes member {m} to state "
+                f"{int(col[start])}, not the member's start "
+                f"{int(member.start)}",  # type: ignore[attr-defined]
+                f"{location}.demux"))
+        if accept_ok and not bool(np.array_equal(
+                member_accept[m],
+                member.accepting_mask[col])):  # type: ignore[attr-defined]
+            out.append(_err(
+                K123,
+                f"member_accept row {m} disagrees with the member's "
+                "accepting mask under the demux (its report events would "
+                "fire on the wrong offsets)",
+                f"{location}.member_accept"))
     return out
 
 

@@ -383,10 +383,108 @@ def _software(args) -> int:
     return 0
 
 
+def _fleet_dfas(args) -> List:
+    """Build the fleet's machines from rules files or a generated family."""
+    if args.rules:
+        return [compile_ruleset(_read_rules(path)) for path in args.rules]
+    if args.family:
+        from repro.workloads import generate_ruleset
+
+        return [
+            compile_ruleset(generate_ruleset(args.family, args.patterns,
+                                             args.seed + i))
+            for i in range(args.machines)
+        ]
+    raise SystemExit("fleet needs rules files or --family")
+
+
+def _fleet(args) -> int:
+    import time
+
+    from repro.stream import FleetScanner
+
+    dfas = _fleet_dfas(args)
+    data = Path(args.input).read_bytes()
+    _obs_begin(args)
+    fleet = FleetScanner(
+        dfas,
+        n_segments=args.segments,
+        backend=args.backend,
+        shard=not args.no_shard,
+        max_shard_states=args.max_shard_states,
+    )
+    begin = time.perf_counter()
+    result = fleet.scan_wallclock(data, verify=False)
+    elapsed = time.perf_counter() - begin
+    print(f"fleet: {len(dfas)} machines "
+          f"({fleet.n_duplicates} duplicates deduped) -> "
+          f"{fleet.n_units} scan unit(s)")
+    if fleet.plan is not None:
+        plan = fleet.plan
+        print(f"shards: {plan.n_shards} "
+              f"({plan.product_states} product states, budget "
+              f"{plan.max_states}, {len(plan.singleton_fallbacks)} "
+              f"singleton fallback(s))")
+    print(f"input: {len(data)} bytes; backends: "
+          f"{sorted(set(fleet.unit_backends))}")
+    print(f"scan wall-clock: {elapsed * 1e3:.2f} ms "
+          f"({len(data) * len(dfas) / max(elapsed, 1e-12) / 1e6:.1f} "
+          "fleet MB/s)")
+    if args.compare:
+        per = FleetScanner(dfas, n_segments=args.segments,
+                           backend=args.backend)
+        begin = time.perf_counter()
+        per_result = per.scan_wallclock(data, verify=False)
+        per_elapsed = time.perf_counter() - begin
+        if per_result.final_states != result.final_states:
+            raise SystemExit("sharded finals diverged from per-machine")
+        print(f"per-machine loop: {per_elapsed * 1e3:.2f} ms -> "
+              f"{per_elapsed / max(elapsed, 1e-12):.2f}x speedup, "
+              "final states bit-identical")
+    _obs_finish(args)
+    return 0
+
+
+def _check_fleet(args) -> int:
+    from repro import check as chk
+    from repro.fleet import plan_shards
+    from repro.workloads import generate_ruleset
+
+    family = args.family or "ExactMatch"
+    dfas = [
+        compile_ruleset(generate_ruleset(family, args.patterns, args.seed + i))
+        for i in range(args.fleet)
+    ]
+    plan = plan_shards(dfas)
+    diagnostics = []
+    for shard in plan.shards:
+        members = [dfas[i] for i in shard.member_indices]
+        diagnostics.extend(chk.verify_shard(shard, members=members))
+    if args.json:
+        print(chk.render_json(
+            diagnostics,
+            target=f"fleet:{family}x{args.fleet}",
+            shards=[
+                {"key": s.key, "members": list(s.member_indices),
+                 "states": s.num_states}
+                for s in plan.shards
+            ],
+        ))
+    else:
+        print(f"fleet: {args.fleet} x {family} machines -> "
+              f"{plan.n_shards} shard(s), {plan.product_states} product "
+              f"states, {len(plan.singleton_fallbacks)} singleton "
+              "fallback(s)")
+        print(chk.render_text(diagnostics))
+    return 1 if chk.has_errors(diagnostics) else 0
+
+
 def _check_artifact(args) -> int:
     from repro import check as chk
     from repro.compilecache import compile_dfa
 
+    if getattr(args, "fleet", 0):
+        return _check_fleet(args)
     diagnostics = []
     certificates = []
     compiled = None
@@ -608,6 +706,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a Chrome trace-event file here (Perfetto)")
     p_sw.set_defaults(func=_software)
 
+    p_fleet = sub.add_parser(
+        "fleet", help="scan one input against many rulesets (sharded)")
+    p_fleet.add_argument("input", help="binary input file")
+    p_fleet.add_argument("rules", nargs="*",
+                         help="rules files, one machine each")
+    p_fleet.add_argument("--family",
+                         help="generate machines from a paper-suite family "
+                              "instead (e.g. ExactMatch, Snort)")
+    p_fleet.add_argument("--machines", type=int, default=16,
+                         help="fleet size for --family")
+    p_fleet.add_argument("--patterns", type=int, default=4,
+                         help="patterns per generated machine")
+    p_fleet.add_argument("--seed", type=int, default=7)
+    p_fleet.add_argument("--segments", type=int, default=8)
+    p_fleet.add_argument("--backend", default="auto",
+                         choices=["auto", "python", "lockstep", "bitset",
+                                  "dense"])
+    p_fleet.add_argument("--no-shard", action="store_true",
+                         help="run the per-machine loop instead of product "
+                              "shards")
+    p_fleet.add_argument("--max-shard-states", type=int, default=None,
+                         help="shard product budget "
+                              "(default: DENSE_MAX_STATES)")
+    p_fleet.add_argument("--compare", action="store_true",
+                         help="also time the per-machine loop and verify "
+                              "bit-identical final states")
+    p_fleet.add_argument("--metrics-out",
+                         help="write a metrics snapshot here "
+                              "(.json/.jsonl/.prom by suffix)")
+    p_fleet.add_argument("--trace-out",
+                         help="write a Chrome trace-event file here "
+                              "(Perfetto)")
+    p_fleet.set_defaults(func=_fleet)
+
     p_stats = sub.add_parser("stats", help="pretty-print a metrics snapshot")
     p_stats.add_argument("snapshot", help="file from --metrics-out "
                                           "(JSON or JSON-lines)")
@@ -644,6 +776,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="set-automaton exploration depth budget")
     p_ca.add_argument("--max-sets", type=int, default=4096,
                       help="set-automaton exploration node budget")
+    p_ca.add_argument("--fleet", type=int, default=0,
+                      help="instead: build an N-machine --family fleet, plan "
+                           "shards, and verify every shard artifact "
+                           "(K120-K123)")
     p_ca.add_argument("--json", action="store_true",
                       help="emit structured JSON instead of text")
     p_ca.set_defaults(func=_check_artifact)

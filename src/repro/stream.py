@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.core.engine import CseEngine
 from repro.core.partition import StatePartition
 from repro.engines.base import Engine
 from repro.engines.sequential import SequentialEngine
+from repro.fleet import ShardMachine, ShardPlan, plan_shards
 from repro.hardware.ap import APConfig
 from repro.hardware.cost import throughput_symbols_per_sec
 from repro.kernels import resolve_backend
@@ -175,6 +176,8 @@ class FleetResult:
     #: critical-path cycles (FSMs run concurrently on separate half-cores)
     cycles: int
     config: APConfig = field(default_factory=APConfig)
+    #: input passes actually paid for (shards or deduped machines)
+    n_scans: int = 0
 
     @property
     def total_reports(self) -> int:
@@ -189,10 +192,25 @@ class FleetResult:
 class FleetScanner:
     """Scan inputs against a collection of FSMs (multi-ruleset deployment).
 
-    Half-cores are split across FSMs the way Table I splits them across
-    segments: with ``F`` machines and ``H`` total half-cores, each machine
-    gets ``H // F`` half-cores (minimum 1) for its segments, and machines
-    beyond the core budget are serialized in rounds.
+    Half-cores are split across scan units the way Table I splits them
+    across segments: with ``U`` units and ``H`` total half-cores, each
+    unit gets ``H // U`` half-cores (minimum 1) for its segments, and
+    units beyond the core budget are serialized in rounds.
+
+    Two layers reduce the number of scan units below ``len(dfas)``:
+
+    - **dedupe** — identical rulesets (same :attr:`Dfa.fingerprint`, no
+      explicit partition) profile and scan once; duplicates share the
+      unit's results.
+    - **sharding** (``shard=``) — alphabet-compatible machines are packed
+      into product/union :class:`~repro.fleet.ShardMachine` units by
+      :func:`repro.fleet.plan_shards`, so each unit pays one input pass
+      for *all* its members and per-ruleset outcomes are demultiplexed
+      from the product state, bit-identical to the per-machine loop.
+      Pass ``True`` to plan with the default ``DENSE_MAX_STATES`` budget
+      or a :class:`~repro.fleet.ShardPlan` (over the deduped fleet) to
+      reuse a plan.  Explicit ``partitions`` are per-machine objects and
+      are rejected in shard mode.
     """
 
     def __init__(
@@ -203,38 +221,97 @@ class FleetScanner:
         n_segments: int = 8,
         backend: Optional[str] = "auto",
         cache=None,
+        shard: Union[bool, ShardPlan] = False,
+        max_shard_states: Optional[int] = None,
     ):
         if not dfas:
             raise ValueError("need at least one FSM")
         self.config = config or APConfig()
         self.n_segments = int(n_segments)
-        partitions = partitions or [None] * len(dfas)
-        if len(partitions) != len(dfas):
+        self.dfas: List[Dfa] = list(dfas)
+        partitions = list(partitions) if partitions is not None else [None] * len(dfas)
+        if len(partitions) != len(self.dfas):
             raise ValueError("one partition (or None) per FSM required")
-        per_fsm_cores = max(1, self.config.total_half_cores // len(dfas))
-        cores_per_segment = max(1, per_fsm_cores // self.n_segments)
-        self.engines: List[Engine] = []
-        self.backends: List[str] = []
-        self.compiled: List = []
-        for dfa, partition in zip(dfas, partitions):
+
+        # -- dedupe: identical partition-less rulesets scan once --------
+        seen: Dict[Tuple, int] = {}
+        self.unique_of: List[int] = []      # original index -> unique slot
+        self.unique_indices: List[int] = []  # unique slot -> first original
+        unique_dfas: List[Dfa] = []
+        unique_partitions: List[Optional[StatePartition]] = []
+        for i, (dfa, partition) in enumerate(zip(self.dfas, partitions)):
+            fp = dfa.fingerprint if partition is None else None
+            if fp is not None and fp in seen:
+                self.unique_of.append(seen[fp])
+                continue
+            slot = len(unique_dfas)
+            if fp is not None:
+                seen[fp] = slot
+            unique_dfas.append(dfa)
+            unique_partitions.append(partition)
+            self.unique_indices.append(i)
+            self.unique_of.append(slot)
+        self.n_duplicates = len(self.dfas) - len(unique_dfas)
+        if self.n_duplicates and obs.is_enabled():
+            obs.counter("fleet_deduped_machines_total").inc(self.n_duplicates)
+
+        # -- sharding: pack unique machines into product units ----------
+        self.plan: Optional[ShardPlan] = None
+        if shard:
+            if any(p is not None for p in partitions):
+                raise ValueError(
+                    "explicit partitions are per-machine objects and cannot "
+                    "be combined with shard="
+                )
+            if isinstance(shard, ShardPlan):
+                covered = sorted(
+                    i for s in shard.shards for i in s.member_indices
+                )
+                if covered != list(range(len(unique_dfas))):
+                    raise ValueError(
+                        "shard plan must cover every deduped fleet machine "
+                        "exactly once"
+                    )
+                self.plan = shard
+            else:
+                self.plan = plan_shards(
+                    unique_dfas,
+                    max_states=max_shard_states,
+                    config=self.config,
+                )
+            self.shards: Tuple[ShardMachine, ...] = self.plan.shards
+            unit_dfas: List[Dfa] = [s.dfa for s in self.shards]
+        else:
+            self.shards = ()
+            unit_dfas = unique_dfas
+
+        # -- per-unit engines, backends, compiled artifacts -------------
+        self.n_units = len(unit_dfas)
+        per_unit_cores = max(1, self.config.total_half_cores // self.n_units)
+        cores_per_segment = max(1, per_unit_cores // self.n_segments)
+        self.unit_engines: List[Engine] = []
+        self.unit_backends: List[str] = []
+        self.unit_compiled: List = []
+        for u, dfa in enumerate(unit_dfas):
+            partition = None if self.plan is not None else unique_partitions[u]
             compiled = None
             if cache is not None and partition is None:
-                # fleet machines share one cache: identical rulesets hit
-                # the same artifact and profile exactly once
+                # units share one cache; singleton shards carry the member
+                # Dfa itself, so their artifacts are the per-machine ones
                 compiled = cache.get_or_compile(
                     dfa, backend=backend or "auto", n_segments=self.n_segments
                 )
                 partition = compiled.partition
             elif partition is None:
                 partition = StatePartition.trivial(dfa.num_states)
-            self.compiled.append(compiled)
+            self.unit_compiled.append(compiled)
             # same shared default-resolution helper StreamScanner uses
-            self.backends.append(
+            self.unit_backends.append(
                 compiled.backend
                 if compiled is not None
                 else resolve_backend(dfa, backend, partition, self.n_segments)
             )
-            self.engines.append(
+            self.unit_engines.append(
                 CseEngine(
                     dfa,
                     n_segments=self.n_segments,
@@ -243,58 +320,131 @@ class FleetScanner:
                     partition=partition,
                 )
             )
-        #: how many FSMs can run concurrently on the rank
+        #: how many units can run concurrently on the rank
         self.concurrency = max(
-            1, self.config.total_half_cores // max(1, per_fsm_cores)
+            1, self.config.total_half_cores // max(1, per_unit_cores)
         )
 
+    # -- per-machine views (shared unit objects) ------------------------
+    def _unit_of(self, original: int) -> int:
+        slot = self.unique_of[original]
+        if self.plan is None:
+            return slot
+        return self.plan.member_to_shard()[slot][0]
+
+    @property
+    def engines(self) -> List[Engine]:
+        """Per-original-machine view of the unit engines (shared objects)."""
+        return [self.unit_engines[self._unit_of(i)] for i in range(len(self.dfas))]
+
+    @property
+    def backends(self) -> List[str]:
+        return [self.unit_backends[self._unit_of(i)] for i in range(len(self.dfas))]
+
+    @property
+    def compiled(self) -> List:
+        return [self.unit_compiled[self._unit_of(i)] for i in range(len(self.dfas))]
+
+    # -- scanning -------------------------------------------------------
+    def _round_cycles(self, per_unit_cycles: List[int]) -> int:
+        # units run `concurrency` at a time; rounds are serialized
+        ordered = sorted(per_unit_cycles, reverse=True)
+        cycles = 0
+        for round_start in range(0, len(ordered), self.concurrency):
+            cycles += ordered[round_start]  # slowest of the round
+        return cycles
+
+    def _fan_out(
+        self, per_slot: Dict[int, List[Tuple[int, int]]]
+    ) -> Dict[int, List[Tuple[int, int]]]:
+        """Expand per-unique-slot results back to every original machine."""
+        return {
+            i: per_slot[self.unique_of[i]] for i in range(len(self.dfas))
+        }
+
     def scan(self, symbols) -> FleetResult:
-        """Run every FSM over the input; verify against sequential."""
+        """Run every scan unit over the input; verify against sequential.
+
+        Reports are keyed by *original* machine index regardless of
+        dedupe or sharding, and are bit-identical to each machine's own
+        sequential :meth:`Dfa.run_reports`.
+        """
         syms = as_symbols(symbols)
-        per_fsm_cycles: List[int] = []
-        reports: Dict[int, List[Tuple[int, int]]] = {}
+        per_unit_cycles: List[int] = []
+        per_slot: Dict[int, List[Tuple[int, int]]] = {}
         collect = obs.is_enabled()
         wall = time.time()
         begin = time.perf_counter()
-        for idx, engine in enumerate(self.engines):
-            run = engine.run(syms)
-            sequential = SequentialEngine(engine.dfa, config=self.config).run(syms)
-            if run.final_state != sequential.final_state:
-                raise AssertionError(f"fleet FSM {idx} diverged from oracle")
-            reports[idx] = sequential.reports or []
-            per_fsm_cycles.append(run.cycles)
-            if collect:
-                obs.gauge("fleet_machine_throughput", fsm=idx).set(
-                    throughput_symbols_per_sec(
-                        int(syms.size), run.cycles, self.config
+        if self.plan is not None:
+            for s, (shard, engine) in enumerate(
+                zip(self.shards, self.unit_engines)
+            ):
+                run = engine.run(syms)
+                final, demuxed = shard.scan_sequential(syms)
+                if run.final_state != final:
+                    raise AssertionError(
+                        f"fleet shard {s} diverged from demux oracle"
                     )
-                )
-                obs.counter("fleet_machine_reports_total", fsm=idx).inc(
-                    len(reports[idx])
-                )
-        # machines run `concurrency` at a time; rounds are serialized
-        per_fsm_cycles.sort(reverse=True)
-        cycles = 0
-        for round_start in range(0, len(per_fsm_cycles), self.concurrency):
-            cycles += per_fsm_cycles[round_start]  # slowest of the round
+                per_slot.update(demuxed)
+                per_unit_cycles.append(run.cycles)
+                if collect:
+                    obs.gauge("fleet_shard_throughput", shard=s).set(
+                        throughput_symbols_per_sec(
+                            int(syms.size), run.cycles, self.config
+                        )
+                    )
+        else:
+            for slot, engine in enumerate(self.unit_engines):
+                run = engine.run(syms)
+                sequential = SequentialEngine(
+                    engine.dfa, config=self.config
+                ).run(syms)
+                if run.final_state != sequential.final_state:
+                    raise AssertionError(
+                        f"fleet FSM {self.unique_indices[slot]} diverged "
+                        "from oracle"
+                    )
+                per_slot[slot] = sequential.reports or []
+                per_unit_cycles.append(run.cycles)
+                if collect:
+                    obs.gauge(
+                        "fleet_machine_throughput",
+                        fsm=self.unique_indices[slot],
+                    ).set(
+                        throughput_symbols_per_sec(
+                            int(syms.size), run.cycles, self.config
+                        )
+                    )
+                    obs.counter(
+                        "fleet_machine_reports_total",
+                        fsm=self.unique_indices[slot],
+                    ).inc(len(per_slot[slot]))
+        reports = self._fan_out(per_slot)
+        cycles = self._round_cycles(per_unit_cycles)
         if collect:
             obs.record_span("fleet.scan", wall, time.perf_counter() - begin,
-                            n_fsms=len(self.engines), n_symbols=int(syms.size))
+                            n_fsms=len(self.dfas), n_units=self.n_units,
+                            n_symbols=int(syms.size))
             obs.counter("fleet_scans_total").inc()
         return FleetResult(
-            n_fsms=len(self.engines),
+            n_fsms=len(self.dfas),
             n_symbols=int(syms.size),
             reports=reports,
             cycles=int(cycles),
             config=self.config,
+            n_scans=self.n_units,
         )
 
-    def scan_wallclock(self, symbols) -> "FleetWallclock":
+    def scan_wallclock(self, symbols, verify: bool = True) -> "FleetWallclock":
         """Measured-seconds fleet scan on the software kernels.
 
-        Runs every FSM's software CSE scan with its resolved kernel
+        Runs every scan unit's software CSE scan with its resolved kernel
         backend and reports real wall-clock, the deployment-facing
-        counterpart of the cycle-model :meth:`scan`.
+        counterpart of the cycle-model :meth:`scan`.  ``verify=False``
+        skips the per-unit sequential oracle (pure kernel timing — the
+        benchmark path); correctness is still pinned by :meth:`scan` and
+        the equivalence tests.  :attr:`FleetWallclock.final_states` is
+        always per *original* machine, demuxed out of shard units.
         """
         from repro.software import software_cse_scan
 
@@ -303,8 +453,8 @@ class FleetScanner:
         collect = obs.is_enabled()
         wall = time.time()
         begin = time.perf_counter()
-        for idx, (engine, backend, compiled) in enumerate(
-            zip(self.engines, self.backends, self.compiled)
+        for u, (engine, backend, compiled) in enumerate(
+            zip(self.unit_engines, self.unit_backends, self.unit_compiled)
         ):
             run = software_cse_scan(
                 engine.dfa,
@@ -312,25 +462,43 @@ class FleetScanner:
                 engine.partition,
                 n_segments=self.n_segments,
                 backend=backend,
+                verify=verify,
                 compiled=compiled,
             )
             runs.append(run)
             if collect and run.elapsed_seconds > 0:
-                obs.gauge("fleet_machine_wallclock_throughput", fsm=idx).set(
+                label = "fleet_shard_wallclock_throughput" \
+                    if self.plan is not None else \
+                    "fleet_machine_wallclock_throughput"
+                obs.gauge(label, fsm=u).set(
                     run.n_symbols / run.elapsed_seconds
                 )
+        # demux per-unit final states back to per-original-machine finals
+        slot_finals: Dict[int, int] = {}
+        if self.plan is not None:
+            for shard, run in zip(self.shards, runs):
+                slot_finals.update(shard.demux_finals(run.final_state))
+        else:
+            for slot, run in enumerate(runs):
+                slot_finals[slot] = int(run.final_state)
+        final_states = [
+            slot_finals[self.unique_of[i]] for i in range(len(self.dfas))
+        ]
         if collect:
             obs.record_span("fleet.scan_wallclock", wall,
                             time.perf_counter() - begin,
-                            n_fsms=len(self.engines), n_symbols=int(syms.size))
-        return FleetWallclock(runs=runs)
+                            n_fsms=len(self.dfas), n_units=self.n_units,
+                            n_symbols=int(syms.size))
+        return FleetWallclock(runs=runs, final_states=final_states)
 
 
 @dataclass
 class FleetWallclock:
     """Wall-clock outcome of :meth:`FleetScanner.scan_wallclock`."""
 
-    runs: List  # List[repro.software.SoftwareRun]
+    runs: List  # List[repro.software.SoftwareRun], one per scan unit
+    #: final state per *original* machine (demuxed in shard mode)
+    final_states: Optional[List[int]] = None
 
     @property
     def sequential_seconds(self) -> float:
@@ -342,7 +510,7 @@ class FleetWallclock:
 
     @property
     def critical_path_seconds(self) -> float:
-        """FSMs run concurrently: the fleet latency is the slowest FSM."""
+        """Units run concurrently: the fleet latency is the slowest unit."""
         return max(r.critical_path_seconds for r in self.runs)
 
     @property

@@ -364,9 +364,11 @@ class TestThreading:
         cache = CompileCache()
         cached = FleetScanner([dfa, dfa], n_segments=4, cache=cache)
         plain = FleetScanner([dfa, dfa], n_segments=4)
-        # two identical rulesets profile once through the shared cache
+        # two identical rulesets are deduped before the cache is even
+        # consulted: one build, zero redundant lookups, one scan unit
         assert cache.stats()["builds"] == 1
-        assert cache.stats()["memory_hits"] == 1
+        assert cache.stats()["memory_hits"] == 0
+        assert cached.n_units == 1 and cached.n_duplicates == 1
         wc1, wc2 = cached.scan_wallclock(syms), plain.scan_wallclock(syms)
-        assert ([r.final_state for r in wc1.runs]
-                == [r.final_state for r in wc2.runs])
+        assert wc1.final_states == wc2.final_states
+        assert len(wc1.final_states) == 2

@@ -6,6 +6,7 @@ import pytest
 from repro.automata.builders import random_dfa
 from repro.automata.minimize import minimize
 from repro.automata.ops import (
+    ProductSizeExceeded,
     complement,
     difference,
     distinguishing_word,
@@ -13,6 +14,7 @@ from repro.automata.ops import (
     find_accepted_word,
     intersect,
     is_empty,
+    product,
     union,
 )
 from repro.regex.compile import compile_pattern
@@ -73,6 +75,32 @@ class TestProducts:
             lhs = complement(union(d1, d2))
             rhs = intersect(complement(d1), complement(d2))
             assert equivalent(lhs, rhs)
+
+
+class TestProductBudget:
+    def test_exceeding_budget_raises_early(self):
+        rng = np.random.default_rng(2)
+        a = random_dfa(12, 3, rng, accepting_fraction=0.3)
+        b = random_dfa(12, 3, rng, accepting_fraction=0.3)
+        unbudgeted = product(a, b, lambda x, y: x or y)
+        assert unbudgeted.num_states > 5
+        with pytest.raises(ProductSizeExceeded):
+            product(a, b, lambda x, y: x or y, max_states=5)
+
+    def test_budget_exception_is_a_value_error(self):
+        a, b = pat(A), pat(B)
+        with pytest.raises(ValueError):
+            product(a, b, lambda x, y: x or y, max_states=1)
+
+    def test_sufficient_budget_changes_nothing(self):
+        rng = np.random.default_rng(5)
+        a = random_dfa(8, 3, rng, accepting_fraction=0.3)
+        b = random_dfa(8, 3, rng, accepting_fraction=0.3)
+        free = product(a, b, lambda x, y: x and y)
+        bounded = product(a, b, lambda x, y: x and y,
+                          max_states=free.num_states)
+        assert bounded.num_states == free.num_states
+        assert equivalent(free, bounded)
 
 
 class TestEmptiness:
