@@ -46,7 +46,8 @@ bench-fleet:
 
 # instrumented vs no-op scan on the bench smoke config; fails above 10%
 check-overhead:
-	$(PYTHON) benchmarks/check_overhead.py --out obs_metrics.json
+	$(PYTHON) benchmarks/check_overhead.py --out obs_metrics.json \
+		--trace-out obs_trace.json --flamegraph-out obs_profile.folded
 
 report:
 	$(PYTHON) benchmarks/generate_report.py

@@ -130,24 +130,54 @@ def _make_engine(name: str, dfa, args, partition=None):
     raise SystemExit(f"unknown engine {name!r}")
 
 
+#: the live endpoint started by ``--metrics-port`` (one per CLI process)
+_LIVE_SERVER = None
+
+
 def _obs_begin(args) -> None:
-    """Install a fresh registry when the command asked for telemetry."""
-    if getattr(args, "metrics_out", None) or getattr(args, "trace_out", None):
-        obs.enable()
+    """Install a fresh registry when the command asked for telemetry.
+
+    ``--metrics-port`` additionally starts the live HTTP endpoint
+    (``/metrics`` Prometheus text + ``/snapshot.json``), arms the flight
+    recorder, and installs the dump-on-exception postmortem hook.
+    """
+    global _LIVE_SERVER
+    metrics_port = getattr(args, "metrics_port", None)
+    wants = (
+        getattr(args, "metrics_out", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "profile_out", None)
+        or metrics_port is not None
+    )
+    if not wants:
+        return
+    obs.enable()
+    obs.enable_flight()
+    if metrics_port is not None:
+        obs.install_excepthook()
+        _LIVE_SERVER = obs.serve(port=metrics_port)
+        print(f"live metrics: {_LIVE_SERVER.url}/metrics  "
+              f"(snapshot {_LIVE_SERVER.url}/snapshot.json, "
+              f"top: repro top {_LIVE_SERVER.url})")
 
 
 def _obs_finish(args) -> None:
     """Export and tear down the registry installed by :func:`_obs_begin`."""
+    global _LIVE_SERVER
     registry = obs.active()
     if registry is None:
         return
     snapshot = registry.snapshot()
-    if args.metrics_out:
+    if getattr(args, "metrics_out", None):
         path = obs.write_metrics(snapshot, args.metrics_out)
         print(f"metrics: {len(snapshot['metrics'])} series -> {path}")
-    if args.trace_out:
+    if getattr(args, "trace_out", None):
         path = obs.write_trace(snapshot, args.trace_out)
         print(f"trace: {len(snapshot['spans'])} spans -> {path}")
+    if _LIVE_SERVER is not None:
+        _LIVE_SERVER.stop()
+        _LIVE_SERVER = None
+    obs.disable_flight()
     obs.disable()
 
 
@@ -319,6 +349,10 @@ def _software(args) -> int:
         cache = CompileCache(cache_dir=args.cache_dir)
     repeat = max(1, args.repeat)
     _obs_begin(args)
+    profiler = None
+    if args.profile_out:
+        profiler = obs.SamplingProfiler()
+        profiler.start()
 
     def one_scan(executor=None):
         if cache is not None:
@@ -351,6 +385,11 @@ def _software(args) -> int:
             begin = time.perf_counter()
             run = one_scan()
             iteration_seconds.append(time.perf_counter() - begin)
+    if profiler is not None:
+        profiler.stop()
+        Path(args.profile_out).write_text(profiler.folded(),
+                                          encoding="utf-8")
+        print(f"profile: {profiler.n_samples} samples -> {args.profile_out}")
     _obs_finish(args)
     stats = cache.stats() if cache is not None else None
     if partition is not None:
@@ -442,6 +481,35 @@ def _fleet(args) -> int:
               f"{per_elapsed / max(elapsed, 1e-12):.2f}x speedup, "
               "final states bit-identical")
     _obs_finish(args)
+    return 0
+
+
+def _top(args) -> int:
+    from repro.obs.live import top
+
+    frames = top(
+        args.source,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
+    return 0 if frames else 1
+
+
+def _obs_tail(args) -> int:
+    import json
+    import urllib.request
+
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        url = source.rstrip("/")
+        if not url.endswith(".json"):
+            url += "/flight.json"
+        with urllib.request.urlopen(url, timeout=10) as resp:  # noqa: S310
+            snapshot = json.loads(resp.read().decode("utf-8"))
+    else:
+        snapshot = json.loads(Path(source).read_text(encoding="utf-8"))
+    print(obs.format_tail(snapshot, n=args.lines))
     return 0
 
 
@@ -661,6 +729,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(.json/.jsonl/.prom by suffix)")
     p_run.add_argument("--trace-out",
                        help="write a Chrome trace-event file here (Perfetto)")
+    p_run.add_argument("--metrics-port", type=int, default=None,
+                       help="serve live /metrics + /snapshot.json on this "
+                            "port while the scan runs (0 = ephemeral)")
     p_run.set_defaults(func=_run)
 
     p_suite = sub.add_parser("suite", help="run Table-I benchmarks")
@@ -704,6 +775,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "(.json/.jsonl/.prom by suffix)")
     p_sw.add_argument("--trace-out",
                       help="write a Chrome trace-event file here (Perfetto)")
+    p_sw.add_argument("--metrics-port", type=int, default=None,
+                      help="serve live /metrics + /snapshot.json on this "
+                           "port while the scan runs (0 = ephemeral)")
+    p_sw.add_argument("--profile-out",
+                      help="sample wall-clock stacks during the scan and "
+                           "write folded flamegraph text here")
     p_sw.set_defaults(func=_software)
 
     p_fleet = sub.add_parser(
@@ -738,6 +815,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--trace-out",
                          help="write a Chrome trace-event file here "
                               "(Perfetto)")
+    p_fleet.add_argument("--metrics-port", type=int, default=None,
+                         help="serve live /metrics + /snapshot.json on this "
+                              "port while the scan runs (0 = ephemeral)")
     p_fleet.set_defaults(func=_fleet)
 
     p_stats = sub.add_parser("stats", help="pretty-print a metrics snapshot")
@@ -791,6 +871,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--json", action="store_true",
                       help="emit structured JSON instead of text")
     p_cl.set_defaults(func=_check_lint)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal view of a running scan's snapshot deltas")
+    p_top.add_argument("source",
+                       help="live endpoint URL (from --metrics-port) or a "
+                            "snapshot JSON file refreshed by another process")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between polls")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       help="stop after N frames (default: until Ctrl-C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the screen")
+    p_top.set_defaults(func=_top)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities (flight recorder)")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_tail = obs_sub.add_parser(
+        "tail", help="show recent spans + scan summaries from a flight "
+                     "recorder dump or a live endpoint")
+    p_tail.add_argument("source",
+                        help="flight dump JSON (repro-flight-<pid>.json) or "
+                             "a live endpoint URL (fetches /flight.json)")
+    p_tail.add_argument("-n", "--lines", type=int, default=20,
+                        help="show the most recent N spans")
+    p_tail.set_defaults(func=_obs_tail)
 
     p_plan = sub.add_parser("plan", help="recommend a half-core allocation")
     p_plan.add_argument("rules")

@@ -55,6 +55,12 @@ KERNEL_BACKENDS = ("lockstep", "bitset", "dense")
 #: beats sparse lockstep; above it the N-wide gather outgrows the cache
 #: and the sparse member arrays win (benchmarks/bench_dense.py)
 DENSE_MAX_STATES = 512
+#: per-metric histogram ladder for batched kernel passes: 100us..25s —
+#: a batch is never sub-100us at bench scale, so the generic
+#: DEFAULT_BUCKETS would waste its bottom two decades here
+BATCH_SECONDS_BUCKETS = tuple(
+    round(m * 10.0 ** e, 12) for e in range(-4, 2) for m in (1.0, 2.5, 5.0)
+)
 
 def resolve_backend(
     dfa: Dfa,
@@ -144,9 +150,12 @@ def run_segments_batch(
             dfa, partition, segments, tables=dense, stride=stride
         )
         if obs.is_enabled():
-            obs.record_span("kernels.batch", batch_wall,
-                            time.perf_counter() - batch_begin,
+            batch_elapsed = time.perf_counter() - batch_begin
+            obs.record_span("kernels.batch", batch_wall, batch_elapsed,
                             backend=backend, segments=n_seg)
+            obs.histogram("kernels_batch_seconds",
+                          buckets=BATCH_SECONDS_BUCKETS,
+                          backend=backend).observe(batch_elapsed)
             obs.counter("kernels_batch_runs_total", backend=backend).inc()
             obs.counter("kernels_segments_total", backend=backend).inc(n_seg)
             obs.counter("kernels_positions_total",
@@ -224,9 +233,12 @@ def run_segments_batch(
         grid[seg][blk] = CsOutcome(False, None, states.astype(np.int64))
     assert all(o is not None for outcomes in grid for o in outcomes)
     if obs.is_enabled():
-        obs.record_span("kernels.batch", batch_wall,
-                        time.perf_counter() - batch_begin,
+        batch_elapsed = time.perf_counter() - batch_begin
+        obs.record_span("kernels.batch", batch_wall, batch_elapsed,
                         backend=backend, segments=n_seg)
+        obs.histogram("kernels_batch_seconds",
+                      buckets=BATCH_SECONDS_BUCKETS,
+                      backend=backend).observe(batch_elapsed)
         obs.counter("kernels_batch_runs_total", backend=backend).inc()
         obs.counter("kernels_segments_total", backend=backend).inc(n_seg)
         obs.counter("kernels_positions_total", backend=backend).inc(length_max)

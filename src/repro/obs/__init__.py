@@ -19,9 +19,18 @@ and merges exactly (:meth:`~MetricRegistry.merge`) — this is how
 
 Exporters (:mod:`repro.obs.exporters`) render a snapshot as JSON,
 JSON-lines, Prometheus text, or Chrome trace-event JSON (Perfetto).
+
+The live plane (:mod:`repro.obs.live`) keeps the registry observable
+while a deployment runs: :func:`serve` exposes ``/metrics`` +
+``/snapshot.json`` over HTTP, :func:`enable_flight` arms a bounded
+flight recorder with dump-on-exception postmortems, :func:`profile`
+samples wall-clock folded stacks, and ``repro top`` renders snapshot
+deltas live.  :func:`trace` scopes a ``trace_id`` over one logical scan
+so spans from every pool worker reassemble into one Chrome trace.
 """
 
 from repro.obs.exporters import (
+    METRIC_HELP,
     chrome_trace,
     load_snapshot,
     prometheus_text,
@@ -30,18 +39,35 @@ from repro.obs.exporters import (
     write_metrics,
     write_trace,
 )
+from repro.obs.live import (
+    FlightRecorder,
+    ObsServer,
+    SamplingProfiler,
+    active_flight,
+    disable_flight,
+    enable_flight,
+    format_tail,
+    install_excepthook,
+    profile,
+    record_scan,
+    serve,
+    top,
+)
 from repro.obs.recorder import (
     NOOP_METRIC,
     NOOP_SPAN,
     active,
     counter,
+    current_trace_id,
     disable,
     enable,
     gauge,
     histogram,
     is_enabled,
+    new_trace_id,
     record_span,
     span,
+    trace,
     using,
 )
 from repro.obs.registry import (
@@ -72,6 +98,9 @@ __all__ = [
     "histogram",
     "span",
     "record_span",
+    "new_trace_id",
+    "current_trace_id",
+    "trace",
     "NOOP_METRIC",
     "NOOP_SPAN",
     # exporters
@@ -82,4 +111,18 @@ __all__ = [
     "write_metrics",
     "write_trace",
     "load_snapshot",
+    "METRIC_HELP",
+    # live plane
+    "FlightRecorder",
+    "ObsServer",
+    "SamplingProfiler",
+    "active_flight",
+    "disable_flight",
+    "enable_flight",
+    "format_tail",
+    "install_excepthook",
+    "profile",
+    "record_scan",
+    "serve",
+    "top",
 ]

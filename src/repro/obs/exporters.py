@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs.registry import MetricRegistry
 
@@ -62,21 +62,78 @@ def _prom_name(name: str) -> str:
     return name
 
 
-def _escape(value: str) -> str:
-    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text exposition spec (backslash,
+    double-quote, and line feed)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and line feed only (quotes are raw)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
     parts = [
-        '%s="%s"' % (_prom_name(k), _escape(v)) for k, v in sorted(labels.items())
+        '%s="%s"' % (_prom_name(k), _escape_label(v))
+        for k, v in sorted(labels.items())
     ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
+#: HELP strings for the in-tree metric families; anything unlisted falls
+#: back to a generic line so every family still gets spec-required HELP.
+METRIC_HELP: Dict[str, str] = {
+    "software_scans_total": "Completed software CSE scans.",
+    "software_symbols_total": "Input symbols consumed by software scans.",
+    "software_scan_seconds": "Wall-clock seconds per software CSE scan.",
+    "software_reexec_segments_total":
+        "Segments whose speculation failed and were re-executed.",
+    "software_speculation_hits_total":
+        "Enumerative segments whose speculated outcome was kept.",
+    "software_speculation_misses_total":
+        "Enumerative segments whose speculated outcome was discarded.",
+    "software_segment_reexec_total": "Re-executions per segment index.",
+    "kernels_positions_total": "Symbol positions advanced per backend.",
+    "kernels_collapses_total":
+        "Convergence-set collapses observed per backend.",
+    "kernels_batch_runs_total": "Batched kernel invocations per backend.",
+    "kernels_batch_seconds": "Wall-clock seconds per batched kernel pass.",
+    "stream_chunks_total": "Chunks consumed by StreamScanner.feed.",
+    "stream_symbols_total": "Symbols consumed by StreamScanner.feed.",
+    "stream_reports_total": "Report events emitted by StreamScanner.",
+    "stream_chunk_seconds": "Wall-clock seconds per stream chunk.",
+    "fleet_scans_total": "Completed fleet scans.",
+    "fleet_shard_throughput":
+        "Modeled symbols/second per fleet product shard.",
+    "fleet_machine_throughput": "Modeled symbols/second per fleet machine.",
+    "fleet_shard_wallclock_throughput":
+        "Measured symbols/second per fleet shard unit.",
+    "fleet_machine_wallclock_throughput":
+        "Measured symbols/second per fleet machine unit.",
+    "fleet_deduped_machines_total":
+        "Fleet machines deduplicated by DFA fingerprint.",
+    "obs_live_requests_total": "HTTP requests served by the live endpoint.",
+    "obs_profiler_samples_total":
+        "Stack samples captured by the wall-clock profiler.",
+}
+
+
 def prometheus_text(source: Union[MetricRegistry, Snapshot]) -> str:
-    """Prometheus text exposition format of a snapshot (metrics only)."""
+    """Prometheus text exposition format of a snapshot (metrics only).
+
+    Spec-compliant rendering: one ``# HELP`` + ``# TYPE`` header per
+    metric family (first occurrence), escaped label values, and for
+    histograms the cumulative ``_bucket`` series ending in the ``+Inf``
+    bucket plus exact ``_sum`` / ``_count`` samples.
+    """
     snap = _as_snapshot(source)
     lines: List[str] = []
     typed = set()
@@ -84,6 +141,10 @@ def prometheus_text(source: Union[MetricRegistry, Snapshot]) -> str:
         name = _prom_name(m["name"])
         kind = m["kind"]
         if name not in typed:
+            help_text = METRIC_HELP.get(
+                m["name"], f"repro runtime {kind} (unregistered help)"
+            )
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {kind}")
             typed.add(name)
         labels = m.get("labels", {})
@@ -102,11 +163,25 @@ def prometheus_text(source: Union[MetricRegistry, Snapshot]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def chrome_trace(source: Union[MetricRegistry, Snapshot]) -> Dict:
-    """Chrome trace-event JSON (the ``traceEvents`` container form)."""
+def chrome_trace(
+    source: Union[MetricRegistry, Snapshot],
+    trace_id: Optional[str] = None,
+) -> Dict:
+    """Chrome trace-event JSON (the ``traceEvents`` container form).
+
+    Spans tagged with a trace id surface it under ``args.trace_id`` so
+    the merged multi-process timeline stays attributable per scan;
+    ``trace_id=`` filters the output down to one scan's spans.
+    """
     snap = _as_snapshot(source)
     events = []
     for s in snap.get("spans", []):
+        span_trace = s.get("trace_id")
+        if trace_id is not None and span_trace != trace_id:
+            continue
+        args = dict(s.get("args", {}))
+        if span_trace is not None:
+            args["trace_id"] = span_trace
         events.append(
             {
                 "name": s["name"],
@@ -116,7 +191,7 @@ def chrome_trace(source: Union[MetricRegistry, Snapshot]) -> Dict:
                 "dur": s["duration"] * 1e6,
                 "pid": s["pid"],
                 "tid": s["tid"],
-                "args": s.get("args", {}),
+                "args": args,
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,45 @@
+"""The live observability plane: endpoint, flight recorder, profiler, top.
+
+Built on the passive registry/recorder layer (:mod:`repro.obs`), this
+subpackage keeps the telemetry *always on* for long-running deployments:
+
+- :mod:`repro.obs.live.server` — in-process HTTP endpoint
+  (``/metrics`` Prometheus text, ``/snapshot.json``, ``/trace.json``,
+  ``/flight.json``, ``/healthz``);
+- :mod:`repro.obs.live.flight` — bounded ring buffers of recent spans
+  and scan summaries, with dump-on-exception postmortems;
+- :mod:`repro.obs.live.profiler` — opt-in sampling wall-clock profiler
+  emitting folded-stack flamegraph text;
+- :mod:`repro.obs.live.top` — the ``repro top`` terminal view polling
+  snapshot deltas.
+"""
+
+from repro.obs.live.flight import (
+    FlightRecorder,
+    active_flight,
+    disable_flight,
+    enable_flight,
+    format_tail,
+    install_excepthook,
+    record_scan,
+)
+from repro.obs.live.profiler import SamplingProfiler, profile
+from repro.obs.live.server import ObsServer, serve
+from repro.obs.live.top import render_top, snapshot_source, top
+
+__all__ = [
+    "FlightRecorder",
+    "ObsServer",
+    "SamplingProfiler",
+    "active_flight",
+    "disable_flight",
+    "enable_flight",
+    "format_tail",
+    "install_excepthook",
+    "profile",
+    "record_scan",
+    "render_top",
+    "serve",
+    "snapshot_source",
+    "top",
+]

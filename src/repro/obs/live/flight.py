@@ -1,0 +1,224 @@
+"""Bounded flight recorder: the last N span events + scan summaries.
+
+A postmortem needs the *recent past*, not the whole run: when a scan
+raises at hour six, the question is "what were the last few hundred
+segments doing".  The flight recorder keeps two bounded ring buffers —
+
+- recent :class:`~repro.obs.registry.SpanEvent` records (it subscribes
+  to the active registry's span stream, including spans merged in from
+  pool workers), and
+- per-scan summary records (backend, shard, collapse / re-exec
+  counters, wall-clock) that the scanning layers append at scan end —
+
+and can dump both to JSON at any time (``repro obs tail`` reads the
+dump, the live endpoint serves it at ``/flight.json``).
+:func:`install_excepthook` arms automatic dump-on-exception so an
+uncaught crash leaves a ``repro-flight-<pid>.json`` postmortem behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.recorder import active
+from repro.obs.registry import MetricRegistry, SpanEvent
+
+__all__ = [
+    "FlightRecorder",
+    "enable_flight",
+    "disable_flight",
+    "active_flight",
+    "record_scan",
+    "install_excepthook",
+]
+
+#: default ring capacities — small enough to stay resident forever,
+#: large enough to cover the recent past of a busy fleet
+DEFAULT_MAX_SPANS = 2048
+DEFAULT_MAX_SCANS = 256
+
+
+class FlightRecorder:
+    """Two bounded rings: recent spans and recent scan summaries."""
+
+    def __init__(
+        self,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        max_scans: int = DEFAULT_MAX_SCANS,
+    ):
+        self.max_spans = int(max_spans)
+        self.max_scans = int(max_scans)
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=self.max_spans)
+        self._scans: deque = deque(maxlen=self.max_scans)
+        self._dropped_spans = 0
+        self._attached: Optional[MetricRegistry] = None
+
+    # ------------------------------------------------------------------
+    # feeding the rings
+    # ------------------------------------------------------------------
+    def record_span(self, event: SpanEvent) -> None:
+        """Registry span-observer entry point (also callable directly)."""
+        with self._lock:
+            if len(self._spans) == self.max_spans:
+                self._dropped_spans += 1
+            self._spans.append(event.to_dict())
+
+    def record_scan(self, **fields) -> None:
+        """Append one scan summary (backend, counters, wallclock, ...)."""
+        record = {"wall_ts": time.time(), **fields}
+        with self._lock:
+            self._scans.append(record)
+
+    # ------------------------------------------------------------------
+    # attachment to a registry's span stream
+    # ------------------------------------------------------------------
+    def attach(self, registry: MetricRegistry) -> "FlightRecorder":
+        if self._attached is not None:
+            self.detach()
+        registry.add_span_observer(self.record_span)
+        self._attached = registry
+        return self
+
+    def detach(self) -> None:
+        if self._attached is not None:
+            self._attached.remove_span_observer(self.record_span)
+            self._attached = None
+
+    # ------------------------------------------------------------------
+    # reading back
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "pid": os.getpid(),
+                "max_spans": self.max_spans,
+                "max_scans": self.max_scans,
+                "dropped_spans": self._dropped_spans,
+                "spans": list(self._spans),
+                "scans": list(self._scans),
+            }
+
+    def dump(self, path, reason: Optional[str] = None) -> Path:
+        """Write the ring contents as indented JSON; returns the path."""
+        payload = self.snapshot()
+        payload["dumped_at"] = time.time()
+        if reason is not None:
+            payload["reason"] = reason
+        path = Path(path)
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_flight: Optional[FlightRecorder] = None
+
+
+def enable_flight(
+    max_spans: int = DEFAULT_MAX_SPANS,
+    max_scans: int = DEFAULT_MAX_SCANS,
+    registry: Optional[MetricRegistry] = None,
+) -> FlightRecorder:
+    """Install a process-wide flight recorder attached to ``registry``
+    (default: the active obs registry, which must be enabled first)."""
+    global _flight
+    target = registry if registry is not None else active()
+    if target is None:
+        raise RuntimeError(
+            "no active obs registry; call obs.enable() before enable_flight()"
+        )
+    if _flight is not None:
+        _flight.detach()
+    _flight = FlightRecorder(max_spans=max_spans, max_scans=max_scans)
+    _flight.attach(target)
+    return _flight
+
+
+def disable_flight() -> None:
+    global _flight
+    if _flight is not None:
+        _flight.detach()
+        _flight = None
+
+
+def active_flight() -> Optional[FlightRecorder]:
+    return _flight
+
+
+def record_scan(**fields) -> None:
+    """Append a scan summary to the flight ring; no-op when disarmed."""
+    recorder = _flight
+    if recorder is not None:
+        recorder.record_scan(**fields)
+
+
+def install_excepthook(path=None):
+    """Arm dump-on-exception: an uncaught exception dumps the flight ring.
+
+    The dump lands at ``path`` (default ``repro-flight-<pid>.json`` in
+    the working directory), then the previous excepthook runs.  Returns
+    the previous hook so callers/tests can restore it.
+    """
+    previous = sys.excepthook
+
+    def hook(exc_type, exc, tb):
+        recorder = _flight
+        if recorder is not None:
+            target = path or f"repro-flight-{os.getpid()}.json"
+            try:
+                recorder.dump(target, reason=f"{exc_type.__name__}: {exc}")
+            except OSError:
+                pass  # postmortem write failure must not mask the crash
+        previous(exc_type, exc, tb)
+
+    sys.excepthook = hook
+    return previous
+
+
+def format_tail(snapshot: Dict, n: int = 20) -> str:
+    """Human-readable tail of a flight snapshot (``repro obs tail``)."""
+    lines: List[str] = []
+    scans = snapshot.get("scans", [])[-n:]
+    if scans:
+        lines.append(f"recent scans ({len(scans)}):")
+        for rec in scans:
+            when = time.strftime(
+                "%H:%M:%S", time.localtime(rec.get("wall_ts", 0))
+            )
+            detail = " ".join(
+                f"{k}={v}" for k, v in rec.items() if k != "wall_ts"
+            )
+            lines.append(f"  {when}  {detail}")
+    spans = snapshot.get("spans", [])[-n:]
+    if spans:
+        lines.append(f"recent spans ({len(spans)}):")
+        for rec in spans:
+            when = time.strftime(
+                "%H:%M:%S", time.localtime(rec.get("ts", 0))
+            )
+            ms = rec.get("duration", 0.0) * 1e3
+            trace = rec.get("trace_id")
+            suffix = f" trace={trace}" if trace else ""
+            args = " ".join(
+                f"{k}={v}" for k, v in rec.get("args", {}).items()
+            )
+            lines.append(
+                f"  {when}  {rec.get('name', '?'):<24} {ms:9.3f} ms  "
+                f"pid={rec.get('pid')}{suffix}  {args}".rstrip()
+            )
+    dropped = snapshot.get("dropped_spans", 0)
+    if dropped:
+        lines.append(f"({dropped} older spans dropped from the ring)")
+    if not lines:
+        lines.append("flight ring is empty")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Opt-in sampling wall-clock profiler (folded stacks / flamegraphs).
+
+A daemon thread wakes every ``interval`` seconds, grabs
+``sys._current_frames()``, and folds the target threads' stacks into
+``outer;inner;leaf count`` lines — the folded-stack format flamegraph
+tooling (``flamegraph.pl``, speedscope, Perfetto) consumes directly.
+
+Sampling is wall-clock and thread-based (no signals), so it is safe
+inside pool workers, library code, and non-main threads, and it sees
+time spent inside numpy kernels (the sampler thread keeps running while
+the GIL is held by C code, attributing those samples to the Python frame
+that called into the kernel — exactly the attribution a hot-loop hunt
+wants).  Overhead is one frame walk per interval: at the default 5 ms
+that is well under 1% on the bench config.
+
+Use::
+
+    with obs.profile(interval=0.005) as prof:
+        software_cse_scan(...)
+    Path("scan.folded").write_text(prof.folded())
+
+or from the CLI: ``repro software ... --profile-out scan.folded``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, Iterable, Optional
+
+from repro.obs import recorder
+
+__all__ = ["SamplingProfiler", "profile"]
+
+
+class SamplingProfiler:
+    """Thread-based sampling profiler producing folded-stack text.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default 5 ms).
+    all_threads:
+        Sample every thread in the process instead of only the thread
+        that called :meth:`start` (the sampler thread itself is always
+        excluded).
+    """
+
+    def __init__(self, interval: float = 0.005, all_threads: bool = False):
+        self.interval = float(interval)
+        self.all_threads = bool(all_threads)
+        self.samples: Dict[str, int] = {}
+        self.n_samples = 0
+        self._targets: set = set()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            return self
+        self._targets = {threading.get_ident()}
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        reg = recorder.active()
+        if reg is not None:
+            reg.counter("obs_profiler_samples_total").inc(self.n_samples)
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            frames = sys._current_frames()
+            for tid, frame in frames.items():
+                if tid == own:
+                    continue
+                if not self.all_threads and tid not in self._targets:
+                    continue
+                stack = []
+                while frame is not None:
+                    code = frame.f_code
+                    stack.append(
+                        f"{os.path.basename(code.co_filename)}:"
+                        f"{code.co_name}"
+                    )
+                    frame = frame.f_back
+                key = ";".join(reversed(stack))
+                self.samples[key] = self.samples.get(key, 0) + 1
+                self.n_samples += 1
+
+    # ------------------------------------------------------------------
+    def folded(self) -> str:
+        """Folded-stack text, heaviest stacks first."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                self.samples.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def hotspots(self, n: int = 10) -> Iterable:
+        """The ``n`` heaviest leaf frames as ``(frame, samples)`` pairs."""
+        leaves: Dict[str, int] = {}
+        for stack, count in self.samples.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        return sorted(leaves.items(), key=lambda kv: -kv[1])[:n]
+
+
+def profile(
+    interval: float = 0.005, all_threads: bool = False
+) -> SamplingProfiler:
+    """A started-on-enter :class:`SamplingProfiler` context manager."""
+    return SamplingProfiler(interval=interval, all_threads=all_threads)

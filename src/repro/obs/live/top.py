@@ -1,0 +1,238 @@
+"""`repro top`: a curses-free live terminal view of a running scan.
+
+Polls a snapshot source — the live endpoint's ``/snapshot.json`` URL or
+a ``--metrics-out`` file being rewritten — and renders the *deltas*
+between consecutive snapshots: live throughput, chunk-latency
+percentiles (estimated from the histogram's cumulative buckets),
+per-backend position counts, and fleet shard gauges.  Rendering is
+plain text plus one ANSI home/clear escape, so it works in any
+terminal, in CI logs, and under ``watch``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.obs.exporters import load_snapshot
+from repro.obs.registry import label_key
+
+__all__ = ["snapshot_source", "top", "render_top", "histogram_quantile"]
+
+Snapshot = Dict
+MetricKey = Tuple[str, tuple]
+
+#: ANSI: cursor home + clear to end of screen (less flickery than 2J)
+_CLEAR = "\x1b[H\x1b[J"
+
+
+def snapshot_source(source: str) -> Callable[[], Snapshot]:
+    """A zero-arg callable producing snapshots from a URL or file path."""
+    if source.startswith(("http://", "https://")):
+        url = source
+        if not urlsplit_path(url):
+            url = url.rstrip("/") + "/snapshot.json"
+
+        def fetch() -> Snapshot:
+            with urllib.request.urlopen(url, timeout=5) as response:
+                return json.loads(response.read().decode("utf-8"))
+
+        return fetch
+
+    path = Path(source)
+
+    def read() -> Snapshot:
+        return load_snapshot(path)
+
+    return read
+
+
+def urlsplit_path(url: str) -> str:
+    """The path component of a URL, '' for a bare host:port."""
+    from urllib.parse import urlsplit
+
+    return urlsplit(url).path.strip("/")
+
+
+def _index(snap: Snapshot) -> Dict[MetricKey, Dict]:
+    return {
+        (m["name"], label_key(m.get("labels", {}))): m
+        for m in snap.get("metrics", [])
+    }
+
+
+def _value(index: Dict[MetricKey, Dict], name: str, **labels) -> float:
+    m = index.get((name, label_key(labels)))
+    return float(m["value"]) if m else 0.0
+
+
+def _sum_family(index: Dict[MetricKey, Dict], name: str) -> float:
+    return sum(
+        float(m["value"]) for (n, _), m in index.items()
+        if n == name and "value" in m
+    )
+
+
+def histogram_quantile(metric: Dict, q: float) -> Optional[float]:
+    """Estimate quantile ``q`` from a snapshot histogram's buckets.
+
+    Returns the upper bound of the first cumulative bucket covering the
+    target rank (the standard Prometheus estimation, minus
+    interpolation); ``max`` for ranks landing in the +Inf bucket.
+    """
+    count = int(metric.get("count", 0))
+    if count == 0:
+        return None
+    target = q * count
+    cumulative = 0
+    for bound, bucket in zip(metric["buckets"], metric["bucket_counts"]):
+        cumulative += int(bucket)
+        if cumulative >= target:
+            return float(bound)
+    return metric.get("max")
+
+
+def _fmt_rate(value: float) -> str:
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {suffix}"
+    return f"{value:.0f} "
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def render_top(
+    previous: Optional[Snapshot],
+    current: Snapshot,
+    dt: float,
+    source: str = "",
+    tick: int = 0,
+) -> str:
+    """One frame of the top view from two consecutive snapshots."""
+    now = _index(current)
+    before = _index(previous) if previous is not None else {}
+    dt = max(dt, 1e-9)
+
+    def rate(name: str, **labels) -> float:
+        return (_value(now, name, **labels) - _value(before, name, **labels)) / dt
+
+    lines: List[str] = []
+    lines.append(
+        f"repro top — {source or 'snapshot'}  "
+        f"(tick {tick}, dt {dt:.1f}s, {len(current.get('metrics', []))} "
+        f"series, {len(current.get('spans', []))} spans)"
+    )
+
+    symbols = rate("software_symbols_total") + rate("stream_symbols_total")
+    scans = rate("software_scans_total") + rate("fleet_scans_total")
+    lines.append(
+        f"throughput   {_fmt_rate(symbols)}sym/s    "
+        f"scans {_fmt_rate(scans)}/s    "
+        f"chunks {_fmt_rate(rate('stream_chunks_total'))}/s"
+    )
+
+    reexec = rate("software_reexec_segments_total")
+    hits = rate("software_speculation_hits_total")
+    misses = rate("software_speculation_misses_total")
+    total_spec = hits + misses
+    hit_pct = 100.0 * hits / total_spec if total_spec else 100.0
+    lines.append(
+        f"speculation  {hit_pct:5.1f}% hit    "
+        f"re-exec {_fmt_rate(reexec)}seg/s"
+    )
+
+    chunk = now.get(("stream_chunk_seconds", label_key({})))
+    if chunk is not None and chunk.get("count"):
+        lines.append(
+            "chunk latency  "
+            f"p50 {_fmt_seconds(histogram_quantile(chunk, 0.50))}  "
+            f"p90 {_fmt_seconds(histogram_quantile(chunk, 0.90))}  "
+            f"p99 {_fmt_seconds(histogram_quantile(chunk, 0.99))}  "
+            f"(n={chunk['count']})"
+        )
+
+    backends = sorted(
+        {
+            dict(key[1]).get("backend")
+            for key in now
+            if key[0] == "kernels_positions_total"
+        } - {None}
+    )
+    if backends:
+        lines.append("positions by backend:")
+        for backend in backends:
+            total = _value(now, "kernels_positions_total", backend=backend)
+            per_sec = rate("kernels_positions_total", backend=backend)
+            lines.append(
+                f"  {backend:<10} {total:>14,.0f}  "
+                f"(+{_fmt_rate(per_sec)}pos/s)"
+            )
+
+    shard_gauges = sorted(
+        (int(dict(key[1]).get("shard", dict(key[1]).get("fsm", 0))),
+         float(m["value"]))
+        for key, m in now.items()
+        if key[0] in ("fleet_shard_throughput",
+                      "fleet_shard_wallclock_throughput")
+    )
+    if shard_gauges:
+        lines.append("fleet shards:")
+        for shard, value in shard_gauges[:16]:
+            lines.append(
+                f"  shard {shard:<3} {_fmt_rate(value)}sym/s"
+            )
+        if len(shard_gauges) > 16:
+            lines.append(f"  ... {len(shard_gauges) - 16} more shards")
+    return "\n".join(lines) + "\n"
+
+
+def top(
+    source: Union[str, Callable[[], Snapshot]],
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+    out=None,
+    clear: bool = True,
+) -> int:
+    """Poll ``source`` and render the live view until interrupted.
+
+    ``iterations`` bounds the number of frames (``None`` = run until
+    Ctrl-C); returns the number of frames rendered.  ``source`` is a
+    URL, a snapshot file path, or (for tests) a zero-arg callable.
+    """
+    fetch = source if callable(source) else snapshot_source(source)
+    label = "" if callable(source) else str(source)
+    stream = out if out is not None else sys.stdout
+    previous: Optional[Snapshot] = None
+    last_time = time.time()
+    tick = 0
+    try:
+        while iterations is None or tick < iterations:
+            if tick:
+                time.sleep(interval)
+            current = fetch()
+            now = time.time()
+            frame = render_top(
+                previous, current, dt=now - last_time if tick else interval,
+                source=label, tick=tick,
+            )
+            if clear:
+                stream.write(_CLEAR)
+            stream.write(frame)
+            stream.flush()
+            previous, last_time = current, now
+            tick += 1
+    except KeyboardInterrupt:
+        pass
+    return tick

@@ -14,10 +14,17 @@ per-symbol inner loops).
 :func:`enable` installs a registry process-wide; :func:`using` installs
 one for a scope (worker tasks, tests) and restores the previous recorder
 on exit.
+
+Trace context: :func:`trace` establishes a ``trace_id`` for a scope (one
+logical scan); every span recorded inside it — in this thread, in nested
+calls, and in pool workers the id is shipped to — carries the id, so the
+exporters can reassemble one coherent timeline from many processes.
 """
 
 from __future__ import annotations
 
+import contextvars
+import os
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence, Union
@@ -35,11 +42,52 @@ __all__ = [
     "histogram",
     "span",
     "record_span",
+    "new_trace_id",
+    "current_trace_id",
+    "trace",
     "NOOP_METRIC",
     "NOOP_SPAN",
 ]
 
 _active: Optional[MetricRegistry] = None
+
+#: ambient trace id of the current logical scan (contextvars: inherited
+#: by nested calls in this thread, isolated between threads)
+_trace: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random, collision-safe per fleet)."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> Optional[str]:
+    """The ambient trace id, or ``None`` outside any :func:`trace` scope."""
+    return _trace.get()
+
+
+@contextmanager
+def trace(
+    trace_id: Optional[str] = None, inherit: bool = True
+) -> Iterator[str]:
+    """Establish a trace id for a scope; yields the effective id.
+
+    ``trace_id=None`` reuses the ambient id when one is set (so a scan
+    nested under a fleet scan joins the fleet's trace) unless
+    ``inherit=False``, and mints a fresh id otherwise.
+    """
+    tid = trace_id
+    if tid is None and inherit:
+        tid = _trace.get()
+    if tid is None:
+        tid = new_trace_id()
+    token = _trace.set(tid)
+    try:
+        yield tid
+    finally:
+        _trace.reset(token)
 
 
 def enable(registry: Optional[MetricRegistry] = None) -> MetricRegistry:
@@ -145,6 +193,7 @@ class _Span:
             self.name,
             self._wall,
             time.perf_counter() - self._begin,
+            trace_id=_trace.get(),
             **self.args,
         )
         return False
@@ -161,7 +210,11 @@ def span(name: str, **args) -> Union[_Span, _NoopSpan]:
 
 
 def record_span(name: str, ts: float, duration: float, **args) -> None:
-    """Record an already-measured span (attributed/batched timings)."""
+    """Record an already-measured span (attributed/batched timings).
+
+    The span is tagged with the ambient trace id (:func:`trace` scope),
+    if any.
+    """
     reg = _active
     if reg is not None:
-        reg.record_span(name, ts, duration, **args)
+        reg.record_span(name, ts, duration, trace_id=_trace.get(), **args)

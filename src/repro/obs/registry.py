@@ -54,6 +54,13 @@ def label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _validated_buckets(buckets: Sequence[float]) -> Tuple[float, ...]:
+    bounds = tuple(float(b) for b in buckets)
+    if list(bounds) != sorted(bounds):
+        raise ValueError("histogram buckets must be sorted ascending")
+    return bounds
+
+
 class _Metric:
     """Shared name/labels/lock plumbing of the three instrument kinds."""
 
@@ -135,6 +142,13 @@ class Histogram(_Metric):
     ``> buckets[i-1]``; the final slot is the overflow bucket (+Inf).
     Counts are stored per-bucket (not cumulative); the Prometheus
     exporter cumulates at render time.
+
+    Bucket bounds default to :data:`DEFAULT_BUCKETS` but are a per-metric
+    choice: call sites pass ``buckets=`` for a ladder matched to the
+    quantity (sub-ms chunk latencies vs whole-suite spans).  A histogram
+    that has not observed anything yet may be *rebucketed*
+    (:meth:`rebucket`), which is how an empty local instrument adopts the
+    bounds of an incoming cross-process snapshot so the merge stays exact.
     """
 
     kind = "histogram"
@@ -146,19 +160,29 @@ class Histogram(_Metric):
         buckets: Sequence[float] = DEFAULT_BUCKETS,
     ):
         super().__init__(name, labels)
-        self.buckets = tuple(float(b) for b in buckets)
-        if list(self.buckets) != sorted(self.buckets):
-            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = _validated_buckets(buckets)
         self.bucket_counts = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
 
+    def rebucket(self, buckets: Sequence[float]) -> None:
+        """Replace the bucket bounds; only legal before any observation."""
+        bounds = _validated_buckets(buckets)
+        with self._lock:
+            if self.count:
+                raise ValueError(
+                    f"histogram {self.name!r} already has {self.count} "
+                    "observations; bucket bounds are frozen"
+                )
+            self.buckets = bounds
+            self.bucket_counts = [0] * (len(bounds) + 1)
+
     def observe(self, value: Union[int, float]) -> None:
         value = float(value)
-        idx = bisect_left(self.buckets, value)
         with self._lock:
+            idx = bisect_left(self.buckets, value)
             self.bucket_counts[idx] += 1
             self.count += 1
             self.sum += value
@@ -185,9 +209,16 @@ class Histogram(_Metric):
 
     def merge_dict(self, other: Dict) -> None:
         if list(other["buckets"]) != list(self.buckets):
-            raise ValueError(
-                f"cannot merge histogram {self.name!r}: bucket bounds differ"
-            )
+            # a local instrument that never observed anything adopts the
+            # incoming bounds, so per-call-site bucket overrides still
+            # merge exactly across processes
+            if self.count == 0:
+                self.rebucket(other["buckets"])
+            else:
+                raise ValueError(
+                    f"cannot merge histogram {self.name!r}: bucket bounds "
+                    "differ"
+                )
         with self._lock:
             for i, c in enumerate(other["bucket_counts"]):
                 self.bucket_counts[i] += int(c)
@@ -201,7 +232,13 @@ class Histogram(_Metric):
 
 @dataclass
 class SpanEvent:
-    """One completed timing span (wall-clock start, measured duration)."""
+    """One completed timing span (wall-clock start, measured duration).
+
+    ``trace_id`` groups the spans of one logical scan across threads
+    *and* processes: the parent mints an id, ships it to the pool
+    workers, and every span a worker records carries it home in the
+    snapshot — so one Chrome trace reassembles from many timelines.
+    """
 
     name: str
     ts: float  #: wall-clock start, seconds since the epoch
@@ -209,9 +246,10 @@ class SpanEvent:
     pid: int
     tid: int
     args: Dict = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "name": self.name,
             "ts": self.ts,
             "duration": self.duration,
@@ -219,6 +257,9 @@ class SpanEvent:
             "tid": self.tid,
             "args": dict(self.args),
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SpanEvent":
@@ -229,6 +270,7 @@ class SpanEvent:
             pid=int(data["pid"]),
             tid=int(data["tid"]),
             args=dict(data.get("args", {})),
+            trace_id=data.get("trace_id"),
         )
 
 
@@ -244,6 +286,28 @@ class MetricRegistry:
         self._lock = threading.Lock()
         self._metrics: Dict[Tuple[str, LabelKey], _Metric] = {}
         self.spans: List[SpanEvent] = []
+        #: span observers (flight recorder, live tail): called with each
+        #: SpanEvent as it lands, including spans arriving via merge()
+        self._span_observers: List = []
+
+    def add_span_observer(self, observer) -> None:
+        """Register ``observer(event: SpanEvent)``; called outside locks."""
+        with self._lock:
+            if observer not in self._span_observers:
+                self._span_observers.append(observer)
+
+    def remove_span_observer(self, observer) -> None:
+        with self._lock:
+            if observer in self._span_observers:
+                self._span_observers.remove(observer)
+
+    def _notify_span(self, events: Iterable[SpanEvent]) -> None:
+        observers = list(self._span_observers)
+        if not observers:
+            return
+        for event in events:
+            for observer in observers:
+                observer(event)
 
     # ------------------------------------------------------------------
     # instrument factories
@@ -272,7 +336,14 @@ class MetricRegistry:
     ) -> Histogram:
         if buckets is None:
             return self._get_or_create(Histogram, name, labels)
-        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+        metric = self._get_or_create(Histogram, name, labels, buckets=buckets)
+        # per-call-site override on an instrument that already exists:
+        # adopt the requested ladder while the histogram is still empty,
+        # reject a conflicting ladder once observations are in
+        bounds = _validated_buckets(buckets)
+        if metric.buckets != bounds:
+            metric.rebucket(bounds)
+        return metric
 
     def get(self, name: str, **labels) -> Optional[_Metric]:
         """Look up an instrument without creating it."""
@@ -293,6 +364,7 @@ class MetricRegistry:
         duration: float,
         pid: Optional[int] = None,
         tid: Optional[int] = None,
+        trace_id: Optional[str] = None,
         **args,
     ) -> SpanEvent:
         event = SpanEvent(
@@ -302,9 +374,11 @@ class MetricRegistry:
             pid=os.getpid() if pid is None else int(pid),
             tid=threading.get_ident() if tid is None else int(tid),
             args=args,
+            trace_id=trace_id,
         )
         with self._lock:
             self.spans.append(event)
+        self._notify_span((event,))
         return event
 
     # ------------------------------------------------------------------
@@ -331,6 +405,7 @@ class MetricRegistry:
         events = [SpanEvent.from_dict(s) for s in snap.get("spans", [])]
         with self._lock:
             self.spans.extend(events)
+        self._notify_span(events)
 
     def clear(self) -> None:
         with self._lock:

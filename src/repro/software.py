@@ -188,13 +188,16 @@ def _pool_init(table_bytes, shape, start, accepting) -> None:
     _WORKER_DFA = Dfa(table, start, accepting)
 
 
-def _pool_run_segment(partition, segment, backend, collect=False, seg_index=None):
+def _pool_run_segment(partition, segment, backend, collect=False,
+                      seg_index=None, trace_id=None):
     """Worker-side segment execution, optionally with local telemetry.
 
     With ``collect=True`` the worker records into a registry of its own
     and returns its snapshot alongside the result; the parent merges it
     (:meth:`repro.obs.MetricRegistry.merge`), which is how counters and
-    spans cross the process boundary exactly.
+    spans cross the process boundary exactly.  ``trace_id`` is the
+    parent scan's trace context: every span the worker records carries
+    it, so the merged timeline reassembles into one Chrome trace.
     """
     if _WORKER_DFA is None:
         raise RuntimeError("worker missing its DFA; build the pool "
@@ -202,13 +205,14 @@ def _pool_run_segment(partition, segment, backend, collect=False, seg_index=None
     if not collect:
         return run_segment(_WORKER_DFA, partition, segment, backend=backend)
     with obs.using() as registry:
-        with obs.span("software.segment", segment=seg_index, backend=backend,
-                      worker=True):
-            function, seconds = run_segment(
-                _WORKER_DFA, partition, segment, backend=backend
-            )
-        obs.counter("software_worker_segments_total").inc()
-        obs.counter("software_worker_symbols_total").inc(int(len(segment)))
+        with obs.trace(trace_id):
+            with obs.span("software.segment", segment=seg_index,
+                          backend=backend, worker=True):
+                function, seconds = run_segment(
+                    _WORKER_DFA, partition, segment, backend=backend
+                )
+            obs.counter("software_worker_segments_total").inc()
+            obs.counter("software_worker_symbols_total").inc(int(len(segment)))
     return function, seconds, registry.snapshot()
 
 
@@ -288,7 +292,8 @@ def _attach_worker_shm(name: str):
 
 
 def _pool_run_segment_shm(
-    partition, shm_name, start, stop, backend, collect=False, seg_index=None
+    partition, shm_name, start, stop, backend, collect=False, seg_index=None,
+    trace_id=None,
 ):
     """Worker-side execution of a ``(shm_name, offset, length)`` segment.
 
@@ -298,7 +303,8 @@ def _pool_run_segment_shm(
     """
     shm = _attach_worker_shm(shm_name)
     symbols = np.frombuffer(shm.buf, dtype=np.int64, count=stop)[start:stop]
-    return _pool_run_segment(partition, symbols, backend, collect, seg_index)
+    return _pool_run_segment(partition, symbols, backend, collect, seg_index,
+                             trace_id)
 
 
 def segment_pool(dfa: Dfa, max_workers: Optional[int] = None) -> ProcessPoolExecutor:
@@ -399,7 +405,51 @@ def software_cse_scan(
     and ship ``(name, offset, length)`` coordinates, falling back to
     pickled slices when shared memory is unavailable; ``False`` forces the
     pickle path.
+
+    With observability enabled, the whole scan runs inside one
+    :func:`repro.obs.trace` scope (joining an ambient trace when the
+    caller — a stream or fleet scan — already opened one): every span,
+    including those recorded in pool workers, carries the scan's
+    ``trace_id``, and a per-scan summary lands in the flight recorder
+    when one is armed.
     """
+    if not obs.is_enabled():
+        return _software_cse_scan(
+            dfa, symbols, partition, n_segments, executor, policy, backend,
+            start_state, verify, compiled, use_shared_memory,
+        )
+    with obs.trace() as trace_id:
+        run = _software_cse_scan(
+            dfa, symbols, partition, n_segments, executor, policy, backend,
+            start_state, verify, compiled, use_shared_memory,
+        )
+    obs.record_scan(
+        kind="software",
+        trace_id=trace_id,
+        backend=run.backend,
+        n_segments=run.n_segments,
+        n_symbols=run.n_symbols,
+        reexec_segments=run.reexec_segments,
+        speculation_hits=max(0, run.n_segments - 1 - run.reexec_segments),
+        elapsed_seconds=run.elapsed_seconds,
+    )
+    return run
+
+
+def _software_cse_scan(
+    dfa: Dfa,
+    symbols,
+    partition: StatePartition,
+    n_segments: int = 16,
+    executor: Optional[Executor] = None,
+    policy: str = "opportunistic",
+    backend: str = "python",
+    start_state: Optional[int] = None,
+    verify: bool = True,
+    compiled=None,
+    use_shared_memory: Optional[bool] = None,
+) -> SoftwareRun:
+    """The scan body; trace scoping/flight summary live in the wrapper."""
     if compiled is not None:
         requested = compiled.requested_backend
         backend = compiled.backend if backend in (None, "auto") else backend
@@ -413,6 +463,7 @@ def software_cse_scan(
     bounds = even_boundaries(int(syms.size), n_segments)
     syms_list: Optional[List[int]] = syms.tolist() if executor is None else None
     collect = obs.is_enabled()
+    trace_id = obs.current_trace_id() if collect else None
     scan_wall = time.time()
     begin_all = time.perf_counter()
 
@@ -444,13 +495,14 @@ def software_cse_scan(
             if shm is not None:
                 futures = [
                     executor.submit(_pool_run_segment_shm, partition,
-                                    shm.name, a, b, backend, collect, i + 1)
+                                    shm.name, a, b, backend, collect, i + 1,
+                                    trace_id)
                     for i, (a, b) in enumerate(enum_bounds)
                 ]
             elif pooled:
                 futures = [
                     executor.submit(_pool_run_segment, partition, syms[a:b],
-                                    backend, collect, i + 1)
+                                    backend, collect, i + 1, trace_id)
                     for i, (a, b) in enumerate(enum_bounds)
                 ]
             else:
