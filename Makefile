@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast bench bench-kernels bench-dense bench-cache \
-        bench-fleet check check-overhead report examples clean golden
+        bench-fleet bench-prefilter check check-overhead report examples \
+        clean golden
 
 install:
 	$(PYTHON) setup.py develop
@@ -43,6 +44,11 @@ bench-cache:
 # acceptance gate on the 64-ruleset fleet
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet.py --smoke
+
+# literal-prefilter fast path vs the dense kernel; smoke mode skips the
+# >=3x acceptance gate and the <=1.05x fallback gate
+bench-prefilter:
+	$(PYTHON) benchmarks/bench_prefilter.py --smoke
 
 # instrumented vs no-op scan on the bench smoke config; fails above 10%
 check-overhead:

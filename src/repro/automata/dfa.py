@@ -25,15 +25,20 @@ __all__ = ["Dfa", "as_symbols"]
 def as_symbols(data) -> np.ndarray:
     """Normalize an input string into a 1-D int64 symbol array.
 
-    Accepts ``bytes``, ``str`` (encoded latin-1), numpy arrays and integer
-    sequences.  Returns a read-only view whenever possible.
+    Accepts ``bytes``, ``str`` (encoded latin-1), ``memoryview``/mmap-backed
+    buffers, numpy arrays, array-likes implementing ``__array__`` (e.g.
+    ``repro.ingest.InputView``) and integer sequences.  The widening to
+    int64 is the only copy; buffer-protocol inputs are never round-tripped
+    through ``bytes``.
     """
     if isinstance(data, np.ndarray):
         return data.astype(np.int64, copy=False)
     if isinstance(data, str):
         data = data.encode("latin-1")
-    if isinstance(data, (bytes, bytearray)):
-        return np.frombuffer(bytes(data), dtype=np.uint8).astype(np.int64)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+    if hasattr(data, "__array__"):
+        return np.asarray(data).astype(np.int64, copy=False)
     return np.asarray(list(data), dtype=np.int64)
 
 

@@ -27,6 +27,7 @@ from repro.check.artifact import (
     verify_compiled,
     verify_dfa,
     verify_partition,
+    verify_prefilter,
     verify_shard,
 )
 from repro.check.convergence import (
@@ -58,6 +59,7 @@ __all__ = [
     "verify_partition",
     "verify_compiled",
     "verify_artifact_file",
+    "verify_prefilter",
     "verify_shard",
     "CONVERGENT",
     "DIVERGENT",

@@ -37,6 +37,7 @@ __all__ = [
     "verify_dfa",
     "verify_partition",
     "verify_compiled",
+    "verify_prefilter",
     "verify_artifact_file",
     "verify_shard",
 ]
@@ -77,6 +78,10 @@ K120 = register_code("K120", "shard key does not re-derive from member fingerpri
 K121 = register_code("K121", "shard demux map is malformed or misses members")
 K122 = register_code("K122", "shard demux disagrees with member transitions")
 K123 = register_code("K123", "shard accepting structure disagrees with members")
+K130 = register_code("K130", "prefilter certificate is malformed or does not re-derive")
+K131 = register_code("K131", "prefilter home invariance broken (non-anchor byte moves home)")
+K132 = register_code("K132", "prefilter skip width unsound (non-anchor run does not absorb, or accepting state anchor-free reachable)")
+K133 = register_code("K133", "artifact envelope prefilter summary disagrees with re-derivation")
 
 
 def _err(code: str, message: str, location: str) -> Diagnostic:
@@ -350,6 +355,12 @@ def verify_compiled(compiled: "object", deep: bool = True,
                 "wrong table columns)",
                 f"{location}.dense.offsets"))
 
+    # prefilter certificate: home invariance, skip-width soundness,
+    # anchor soundness, and full re-derivation
+    pf = getattr(compiled, "_prefilter", None)
+    if pf is not None:
+        out.extend(verify_prefilter(pf, dfa, location=f"{location}.prefilter"))
+
     # partition + census
     partition = compiled.partition  # type: ignore[attr-defined]
     out.extend(verify_partition(partition, dfa.num_states,
@@ -417,6 +428,97 @@ def verify_compiled(compiled: "object", deep: bool = True,
             "stored cache key does not re-derive from the artifact's "
             "fingerprint and compile parameters",
             f"{location}.key"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# prefilter certificates
+# ----------------------------------------------------------------------
+def verify_prefilter(tables: "object", dfa: "object",
+                     location: str = "prefilter") -> List[Diagnostic]:
+    """Soundness of a literal-prefilter certificate against its DFA.
+
+    The certificate licenses a scan to *skip input bytes*, so every fact
+    it asserts is re-proved from the transition table:
+
+    - structural sanity (LUT shape/dtype, home/skip-width ranges) — K130;
+    - **home invariance**: no non-anchor byte moves the home state — K131;
+    - **skip-width soundness**: with the *stored* anchor set, the
+      non-anchor transition graph away from home is acyclic and its
+      longest path does not exceed the stored width (so any
+      ``skip_width``-long non-anchor run provably absorbs every state at
+      home), and no accepting state is reachable from start or home
+      through non-anchor bytes alone (every accepting path contains an
+      anchor — a skipped window can never hide a report) — K132;
+    - the whole certificate re-derives bit-for-bit from the table — K130.
+    """
+    from repro.kernels.prefilter import (
+        _absorption_depths,
+        _non_anchor_closure,
+        derive_prefilter,
+    )
+
+    out: List[Diagnostic] = []
+    table = dfa.transitions  # type: ignore[attr-defined]
+    n = int(table.shape[1])
+    k = int(table.shape[0])
+    lut = getattr(tables, "anchor_lut", None)
+    home = getattr(tables, "home", None)
+    sw = getattr(tables, "skip_width", None)
+    if not isinstance(lut, np.ndarray) or lut.dtype != np.bool_ \
+            or lut.shape != (k,) \
+            or not isinstance(home, (int, np.integer)) \
+            or not 0 <= int(home) < n \
+            or not isinstance(sw, (int, np.integer)) or int(sw) < 1:
+        out.append(_err(
+            K130,
+            "prefilter certificate is malformed (anchor LUT must be a "
+            f"bool ({k},) array, home in [0, {n}), skip width >= 1)",
+            location))
+        return out
+    home = int(home)
+    sw = int(sw)
+    moved = np.flatnonzero((table[:, home] != home) & ~lut)
+    if moved.size:
+        out.append(_err(
+            K131,
+            f"non-anchor byte {int(moved[0])} moves home {home} to "
+            f"{int(table[int(moved[0]), home])}; a skipped run would not "
+            "hold the machine at home",
+            f"{location}.anchor_lut"))
+    depth, finite = _absorption_depths(table, home, lut)
+    if not bool(finite.all()):
+        stuck = int(np.flatnonzero(~finite)[0])
+        out.append(_err(
+            K132,
+            f"state {stuck} sits on a non-anchor cycle away from home: "
+            "a non-anchor run of any length need not absorb it",
+            f"{location}.skip_width"))
+    elif int(depth.max()) > sw:
+        out.append(_err(
+            K132,
+            f"longest non-anchor path is {int(depth.max())} but the "
+            f"stored skip width is {sw}: a {sw}-long run does not prove "
+            "absorption",
+            f"{location}.skip_width"))
+    acc = dfa.accepting_mask  # type: ignore[attr-defined]
+    start = int(dfa.start)  # type: ignore[attr-defined]
+    reach = _non_anchor_closure(table, lut, start)
+    if bool(acc[home]) or bool((acc & reach).any()):
+        out.append(_err(
+            K132,
+            "an accepting state is reachable from start/home without any "
+            "anchor byte: an accepting path need not contain an anchor "
+            "and a skipped window could hide a report",
+            f"{location}.anchor_lut"))
+    fresh = derive_prefilter(dfa)
+    if fresh is None or fresh.home != home or fresh.skip_width != sw \
+            or not bool(np.array_equal(fresh.anchor_lut, lut)):
+        out.append(_err(
+            K130,
+            "stored prefilter certificate does not re-derive from the "
+            "transition table",
+            location))
     return out
 
 
@@ -645,6 +747,22 @@ def verify_artifact_file(path: Union[str, Path],
                 K111,
                 f"envelope dense dtype {payload.get('dense_dtype')!r} does "
                 f"not match the stored DFA's narrowing ({expect_dtype})",
+                location))
+    if "prefilter" in payload or version == FORMAT_VERSION:
+        from repro.kernels.prefilter import derive_prefilter
+
+        try:
+            fresh = derive_prefilter(compiled.dfa)
+            expect_summary = None if fresh is None else fresh.summary()
+        except (AttributeError, TypeError, ValueError):
+            expect_summary = None
+        if payload.get("prefilter") != expect_summary:
+            out.append(_err(
+                K133,
+                f"envelope prefilter summary {payload.get('prefilter')!r} "
+                f"does not re-derive from the stored table "
+                f"({expect_summary!r}); a stale certificate could skip "
+                "live bytes",
                 location))
     out.extend(verify_compiled(compiled, deep=deep, location=location))
     return out

@@ -328,11 +328,15 @@ def _software(args) -> int:
 
     from repro.core.profiling import predict_convergence_sets
     from repro.core.partition import StatePartition
+    from repro.ingest import open_input
     from repro.software import segment_pool, software_cse_scan
 
     rules = _read_rules(args.rules)
     dfa = compile_ruleset(rules)
-    data = Path(args.input).read_bytes()
+    # mmap-backed view: segments are sliced (and, under a process pool,
+    # shipped as (path, offset, length) coordinates) without ever
+    # materializing the file as a bytes object
+    data = open_input(args.input)
     profiling = ProfilingConfig(
         n_inputs=300, input_len=200,
         symbol_low=args.symbol_low, symbol_high=args.symbol_high,
@@ -419,6 +423,7 @@ def _software(args) -> int:
         print(f"cache: {stats['memory_hits']} memory hits, "
               f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
               f"{stats['builds']} builds")
+    data.close()
     return 0
 
 
@@ -440,10 +445,11 @@ def _fleet_dfas(args) -> List:
 def _fleet(args) -> int:
     import time
 
+    from repro.ingest import open_input
     from repro.stream import FleetScanner
 
     dfas = _fleet_dfas(args)
-    data = Path(args.input).read_bytes()
+    data = open_input(args.input)
     _obs_begin(args)
     fleet = FleetScanner(
         dfas,
@@ -481,6 +487,7 @@ def _fleet(args) -> int:
               f"{per_elapsed / max(elapsed, 1e-12):.2f}x speedup, "
               "final states bit-identical")
     _obs_finish(args)
+    data.close()
     return 0
 
 
@@ -754,7 +761,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("rules")
     p_sw.add_argument("input", help="binary input file")
     p_sw.add_argument("--backend", default="auto",
-                      choices=["auto", "python", "lockstep", "bitset", "dense"])
+                      choices=["auto", "python", "lockstep", "bitset", "dense",
+                               "prefilter"])
     p_sw.add_argument("--segments", type=int, default=16)
     p_sw.add_argument("--processes", type=int, default=0,
                       help="run segments on a process pool of this size")
@@ -799,7 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--segments", type=int, default=8)
     p_fleet.add_argument("--backend", default="auto",
                          choices=["auto", "python", "lockstep", "bitset",
-                                  "dense"])
+                                  "dense", "prefilter"])
     p_fleet.add_argument("--no-shard", action="store_true",
                          help="run the per-machine loop instead of product "
                               "shards")
@@ -846,7 +854,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="generator seed for --family rulesets")
     p_ca.add_argument("--segments", type=int, default=16)
     p_ca.add_argument("--backend", default="auto",
-                      choices=["auto", "python", "lockstep", "bitset", "dense"])
+                      choices=["auto", "python", "lockstep", "bitset", "dense",
+                               "prefilter"])
     p_ca.add_argument("--cutoff", type=float, default=0.99)
     p_ca.add_argument("--inputs", type=int, default=300)
     p_ca.add_argument("--length", type=int, default=200)

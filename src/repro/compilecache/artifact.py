@@ -14,6 +14,10 @@ matrix:
 - the dense kernel's dtype-narrowed table + per-symbol column offsets
   (:class:`repro.kernels.DenseTables`, built eagerly when the resolved
   backend is ``"dense"``, lazily otherwise),
+- the literal-prefilter certificate — anchor LUT, home state and proven
+  skip width (:class:`repro.kernels.PrefilterTables`, built eagerly when
+  the resolved backend is ``"prefilter"``; ``None`` when the machine is
+  not literal-certifiable),
 - the resolved kernel backend hint for the artifact's segment count.
 
 Content addressing lives in :func:`cache_key`: the key is a digest of the
@@ -41,7 +45,13 @@ from repro.core.profiling import (
     profile_partitions,
 )
 from repro.automata.dfa import Dfa
-from repro.kernels import BitsetTables, DenseTables, resolve_backend
+from repro.kernels import (
+    BitsetTables,
+    DenseTables,
+    PrefilterTables,
+    certify_prefilter,
+    resolve_backend,
+)
 
 __all__ = ["CompiledDfa", "cache_key", "compile_dfa"]
 
@@ -92,6 +102,11 @@ class CompiledDfa:
     build_seconds: float = 0.0
     _bitset: Optional[BitsetTables] = field(default=None, repr=False)
     _dense: Optional[DenseTables] = field(default=None, repr=False)
+    _prefilter: Optional[PrefilterTables] = field(default=None, repr=False)
+    #: whether the prefilter certificate has been derived yet (it is
+    #: legitimately ``None`` for uncertifiable machines, so presence
+    #: cannot double as the built flag)
+    _prefilter_built: bool = field(default=False, repr=False)
 
     @property
     def partition(self) -> StatePartition:
@@ -114,6 +129,17 @@ class CompiledDfa:
             self._dense = DenseTables(self.dfa)
         return self._dense
 
+    def prefilter_tables(self) -> Optional[PrefilterTables]:
+        """Literal-skip certificate, derived on first use.
+
+        ``None`` means the machine is not literal-certifiable — scans
+        requesting ``backend="prefilter"`` degrade to the dense kernel.
+        """
+        if not self._prefilter_built:
+            self._prefilter = certify_prefilter(self.dfa)
+            self._prefilter_built = True
+        return self._prefilter
+
     @property
     def nbytes(self) -> int:
         """Approximate artifact footprint (tables only)."""
@@ -122,6 +148,8 @@ class CompiledDfa:
             total += self._bitset.nbytes
         if self._dense is not None:
             total += self._dense.nbytes
+        if self._prefilter is not None:
+            total += self._prefilter.nbytes
         return total
 
 
@@ -170,5 +198,7 @@ def compile_dfa(
         compiled.bitset_tables()
     elif resolved == "dense":
         compiled.dense_tables()
+    elif resolved == "prefilter":
+        compiled.prefilter_tables()
     compiled.build_seconds = time.perf_counter() - begin
     return compiled

@@ -23,6 +23,7 @@ from typing import Optional, Tuple, Union
 
 from repro.compilecache.artifact import CompiledDfa
 from repro.kernels.dense import dense_state_dtype
+from repro.kernels.prefilter import derive_prefilter
 
 __all__ = [
     "FORMAT_VERSION",
@@ -36,7 +37,12 @@ __all__ = [
 # dense-frontier kernel narrows to for this machine — so a loader can
 # cross-check any stored DenseTables against the DFA's state count
 # without unpickling them first
-FORMAT_VERSION = 2
+# version 3: the envelope records ``prefilter`` — the literal-skip
+# certificate summary (home state, skip width, anchor count + digest), or
+# ``None`` for uncertifiable machines — cross-checked on load against a
+# fresh derivation from the stored transition table, so a stale or
+# tampered certificate can never steer a scan into skipping live bytes
+FORMAT_VERSION = 3
 _SUFFIX = ".cdfa"
 
 
@@ -53,11 +59,13 @@ def save_artifact(compiled: CompiledDfa, cache_dir: Union[str, Path]) -> Path:
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
     path = artifact_path(cache_dir, compiled.key)
+    prefilter = compiled.prefilter_tables()
     payload = {
         "format_version": FORMAT_VERSION,
         "key": compiled.key,
         "fingerprint": compiled.fingerprint,
         "dense_dtype": str(dense_state_dtype(compiled.dfa.num_states)),
+        "prefilter": None if prefilter is None else prefilter.summary(),
         "artifact": compiled,
     }
     fd, tmp_name = tempfile.mkstemp(
@@ -123,6 +131,16 @@ def load_artifact(
             f"artifact {path} declares dense dtype "
             f"{payload.get('dense_dtype')!r} but the stored DFA narrows to "
             f"{expected_dtype!r}"
+        )
+    # the prefilter certificate decides which input bytes a scan may skip;
+    # re-derive from the stored table and demand envelope agreement
+    fresh = derive_prefilter(compiled.dfa)
+    expected_summary = None if fresh is None else fresh.summary()
+    if payload.get("prefilter") != expected_summary:
+        raise ArtifactValidationError(
+            f"artifact {path} declares prefilter certificate "
+            f"{payload.get('prefilter')!r} but the stored table derives "
+            f"{expected_summary!r}"
         )
     # checksums only prove the header matches the payload; a corrupted-
     # but-self-consistent pickle (table mutated, fingerprint re-derived)

@@ -13,6 +13,10 @@ kernels pay it per *symbol position of the whole scan*:
 - :mod:`repro.kernels.dense` — the dense-frontier kernel: all N states of
   every segment advance with exactly one flat gather per symbol position
   (dtype-narrowed table, strided collapse checks); the small-N fast path.
+- :mod:`repro.kernels.prefilter` — the literal-prefilter fast path:
+  compile-time anchor/skip-width certification plus a scan kernel that
+  sweeps for anchor bytes vectorized and walks only the tail after the
+  last proven reset run, skipping the frontier entirely elsewhere.
 - :mod:`repro.kernels.batch` — the orchestrator that runs every
   enumerative segment through one batched pass and the shared
   ``resolve_backend`` default-resolution helper.
@@ -27,6 +31,12 @@ from repro.kernels.batch import (
 )
 from repro.kernels.bitset import BitsetTables
 from repro.kernels.dense import DenseTables, dense_state_dtype
+from repro.kernels.prefilter import (
+    PrefilterTables,
+    certify_prefilter,
+    derive_prefilter,
+    prefilter_scan_scalar,
+)
 
 __all__ = [
     "BACKENDS",
@@ -34,7 +44,11 @@ __all__ = [
     "KERNEL_BACKENDS",
     "BitsetTables",
     "DenseTables",
+    "PrefilterTables",
+    "certify_prefilter",
     "dense_state_dtype",
+    "derive_prefilter",
+    "prefilter_scan_scalar",
     "resolve_backend",
     "run_segments_batch",
 ]

@@ -38,6 +38,11 @@ from repro.engines.base import stack_segments
 from repro.kernels.bitset import BitsetSetFlows, BitsetTables
 from repro.kernels.dense import DenseTables, run_segments_dense
 from repro.kernels.lockstep import FlatSetFlows, ScalarPool
+from repro.kernels.prefilter import (
+    PrefilterTables,
+    certify_prefilter,
+    run_segments_prefilter,
+)
 
 __all__ = [
     "BACKENDS",
@@ -48,9 +53,9 @@ __all__ = [
 ]
 
 #: every executable backend of the software CSE path
-BACKENDS = ("python", "lockstep", "bitset", "dense")
+BACKENDS = ("python", "lockstep", "bitset", "dense", "prefilter")
 #: the vectorized kernels (everything but the interpreted reference path)
-KERNEL_BACKENDS = ("lockstep", "bitset", "dense")
+KERNEL_BACKENDS = ("lockstep", "bitset", "dense", "prefilter")
 #: measured crossover: below this the dense frontier's one-gather step
 #: beats sparse lockstep; above it the N-wide gather outgrows the cache
 #: and the sparse member arrays win (benchmarks/bench_dense.py)
@@ -61,6 +66,22 @@ DENSE_MAX_STATES = 512
 BATCH_SECONDS_BUCKETS = tuple(
     round(m * 10.0 ** e, 12) for e in range(-4, 2) for m in (1.0, 2.5, 5.0)
 )
+
+
+def _record_decision(requested: str, chosen: str, reason: str) -> None:
+    """One structured record per backend resolution.
+
+    The counter keeps the running chosen-vs-requested tally (grouped by
+    reason — ``repro top`` renders these rows) and the zero-duration span
+    puts the individual decision on the trace timeline next to the scan
+    it gated.
+    """
+    obs.counter("kernels_backend_resolved_total",
+                requested=requested, backend=chosen, reason=reason).inc()
+    if obs.is_enabled():
+        obs.record_span("kernels.backend_resolve", time.time(), 0.0,
+                        requested=requested, backend=chosen, reason=reason)
+
 
 def resolve_backend(
     dfa: Dfa,
@@ -94,24 +115,32 @@ def resolve_backend(
     (and the differential-testing model of the AP's one-hot step).
     """
     if backend in BACKENDS:
-        obs.counter("kernels_backend_resolved_total",
-                    requested=backend, backend=backend).inc()
+        _record_decision(backend, backend, "explicit")
         return backend
     if backend not in (None, "auto"):
         raise ValueError(
             f"unknown backend {backend!r}; pick one of {BACKENDS + ('auto',)}"
         )
+    # literal-certified machines skip the frontier between anchor hits
+    # regardless of partition shape — the sweep needs nothing to batch
+    if certify_prefilter(dfa) is not None:
+        _record_decision("auto", "prefilter", "literal-certified")
+        return "prefilter"
     if partition is None:
         n_blocks, max_block = 1, dfa.num_states
     else:
         sizes = [len(b) for b in partition.blocks]
         n_blocks, max_block = len(sizes), max(sizes)
     enum_segments = max(1, n_segments - 1)
-    chosen = "python"
-    if n_blocks > 1 and (max_block > 8 or n_blocks * enum_segments >= 48):
-        chosen = "dense" if dfa.num_states <= DENSE_MAX_STATES else "lockstep"
-    obs.counter("kernels_backend_resolved_total",
-                requested="auto", backend=chosen).inc()
+    chosen, reason = "python", "small-workload"
+    if n_blocks <= 1:
+        reason = "trivial-partition"
+    elif max_block > 8 or n_blocks * enum_segments >= 48:
+        if dfa.num_states <= DENSE_MAX_STATES:
+            chosen, reason = "dense", "dense-fit"
+        else:
+            chosen, reason = "lockstep", "dense-over-budget"
+    _record_decision("auto", chosen, reason)
     return chosen
 
 
@@ -124,6 +153,7 @@ def run_segments_batch(
     flat: Optional[np.ndarray] = None,
     dense: Optional[DenseTables] = None,
     stride: Optional[int] = None,
+    prefilter: Optional[PrefilterTables] = None,
 ) -> List[SegmentFunction]:
     """Execute every enumerative segment's set-flows in one batched pass.
 
@@ -134,17 +164,60 @@ def run_segments_batch(
     ``dense`` precomputed :class:`DenseTables` across calls (streaming, or
     a cached :class:`repro.compilecache.CompiledDfa` artifact).
     ``stride`` pins the dense kernel's collapse-check gap (tests; the
-    default adapts).
+    default adapts).  ``prefilter`` reuses a precomputed certificate for
+    ``backend="prefilter"``; when the DFA is not literal-certifiable the
+    call degrades to the dense kernel (correctness never depends on the
+    prefilter heuristic) and records the fallback.
     """
     if backend not in KERNEL_BACKENDS:
         raise ValueError(f"batched execution needs one of {KERNEL_BACKENDS}")
-    segments = [as_symbols(s) for s in segments]
+    if backend == "prefilter":
+        pf_tables = prefilter if prefilter is not None else certify_prefilter(dfa)
+        if pf_tables is None:
+            obs.counter("kernels_prefilter_fallbacks_total").inc()
+            backend = "dense"
+    if backend == "prefilter":
+        # keep the incoming dtype: uint8 mmap views flow into the anchor
+        # sweep zero-copy, no int64 widening of the skipped bytes
+        segments = [
+            s if isinstance(s, np.ndarray) else as_symbols(s) for s in segments
+        ]
+    else:
+        segments = [as_symbols(s) for s in segments]
     n_seg = len(segments)
     if n_seg == 0:
         return []
     batch_wall = time.time()
     batch_begin = time.perf_counter()
     labels = partition.labels()
+    if backend == "prefilter":
+        grid, stats = run_segments_prefilter(
+            dfa, partition, segments, pf_tables, dense=dense, stride=stride
+        )
+        if obs.is_enabled():
+            batch_elapsed = time.perf_counter() - batch_begin
+            obs.record_span("kernels.batch", batch_wall, batch_elapsed,
+                            backend=backend, segments=n_seg)
+            obs.histogram("kernels_batch_seconds",
+                          buckets=BATCH_SECONDS_BUCKETS,
+                          backend=backend).observe(batch_elapsed)
+            obs.counter("kernels_batch_runs_total", backend=backend).inc()
+            obs.counter("kernels_segments_total", backend=backend).inc(n_seg)
+            obs.counter("kernels_positions_total",
+                        backend=backend).inc(stats["positions"])
+            obs.counter("kernels_collapses_total",
+                        backend=backend).inc(stats["collapses"])
+            obs.counter("kernels_prefilter_windows_total").inc(
+                stats["windows"])
+            obs.counter("kernels_prefilter_skipped_bytes_total").inc(
+                stats["skipped_bytes"])
+            obs.counter("kernels_prefilter_anchor_hits_total").inc(
+                stats["anchor_hits"])
+            obs.counter("kernels_prefilter_walked_positions_total").inc(
+                stats["walked_positions"])
+            obs.counter("kernels_prefilter_fallback_segments_total").inc(
+                stats["fallback_segments"])
+        return [SegmentFunction(list(outcomes), labels) for outcomes in grid]
     if backend == "dense":
         grid, stats = run_segments_dense(
             dfa, partition, segments, tables=dense, stride=stride

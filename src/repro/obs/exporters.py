@@ -106,6 +106,24 @@ METRIC_HELP: Dict[str, str] = {
         "Convergence-set collapses observed per backend.",
     "kernels_batch_runs_total": "Batched kernel invocations per backend.",
     "kernels_batch_seconds": "Wall-clock seconds per batched kernel pass.",
+    "kernels_backend_resolved_total":
+        "Backend resolution decisions (requested -> chosen, with reason).",
+    "kernels_prefilter_fallbacks_total":
+        "Prefilter requests degraded to dense (machine not certifiable).",
+    "kernels_prefilter_windows_total":
+        "Segments the prefilter proved reset and scanned as tail windows.",
+    "kernels_prefilter_skipped_bytes_total":
+        "Input bytes the prefilter skipped without a state walk.",
+    "kernels_prefilter_anchor_hits_total":
+        "Anchor bytes located by the prefilter byte sweep.",
+    "kernels_prefilter_walked_positions_total":
+        "Positions the prefilter walked scalar after the last reset run.",
+    "kernels_prefilter_fallback_segments_total":
+        "Segments with no provable reset run, run through dense.",
+    "software_mmap_scans_total":
+        "Pooled scans dispatched by (path, offset, length) mmap coordinates.",
+    "software_mmap_bytes_total":
+        "Bytes shipped to workers as mmap coordinates instead of copies.",
     "stream_chunks_total": "Chunks consumed by StreamScanner.feed.",
     "stream_symbols_total": "Symbols consumed by StreamScanner.feed.",
     "stream_reports_total": "Report events emitted by StreamScanner.",

@@ -180,6 +180,30 @@ def render_top(
                 f"(+{_fmt_rate(per_sec)}pos/s)"
             )
 
+    decisions = sorted(
+        (dict(key[1]).get("requested", "?"),
+         dict(key[1]).get("backend", "?"),
+         dict(key[1]).get("reason", "?"),
+         int(m["value"]))
+        for key, m in now.items()
+        if key[0] == "kernels_backend_resolved_total" and "value" in m
+    )
+    if decisions:
+        lines.append("backend decisions:")
+        for requested, backend, reason, count in decisions:
+            lines.append(
+                f"  resolve {requested}->{backend:<10} x{count:<6} ({reason})"
+            )
+
+    pf_skipped = _value(now, "kernels_prefilter_skipped_bytes_total")
+    if pf_skipped:
+        lines.append(
+            "prefilter     "
+            f"skipped {_fmt_rate(rate('kernels_prefilter_skipped_bytes_total'))}B/s  "
+            f"windows {_fmt_rate(rate('kernels_prefilter_windows_total'))}/s  "
+            f"fallbacks {_value(now, 'kernels_prefilter_fallbacks_total'):.0f}"
+        )
+
     shard_gauges = sorted(
         (int(dict(key[1]).get("shard", dict(key[1]).get("fsm", 0))),
          float(m["value"]))

@@ -29,9 +29,21 @@ Three execution backends are available (``backend=``):
   and advances it with exactly one flat gather per symbol position
   (dtype-narrowed table, strided collapse checks); the small-N fast path
   (:mod:`repro.kernels.dense`).
+- ``"prefilter"`` — the literal-prefilter fast path for certified
+  literal-heavy machines: a vectorized anchor sweep plus an interpreted
+  walk of only the tail after the last proven reset run
+  (:mod:`repro.kernels.prefilter`); degrades to ``"dense"`` when the DFA
+  is not literal-certifiable.
 
 ``backend="auto"`` picks via :func:`repro.kernels.resolve_backend`, the
 same helper the streaming layer uses.
+
+Input may be ``bytes``, a numpy symbol array, or a zero-copy
+:class:`repro.ingest.InputView` (e.g. from :func:`repro.ingest.open_input`
+— an mmap of the file).  File-backed views submitted to a
+fingerprint-matched process pool ship as ``(path, offset, length)`` mmap
+coordinates: workers map the file themselves and nothing but the
+coordinates crosses the process boundary.
 
 Per-segment wall times are measured individually, so the result reports
 both the *work speedup* (total sequential seconds / critical-path
@@ -57,7 +69,14 @@ from repro.core.partition import StatePartition
 from repro.core.reexec import ReexecutionStats, compose_and_fix
 from repro.core.transition import CsOutcome, SegmentFunction
 from repro.engines.base import even_boundaries
-from repro.kernels import BACKENDS, resolve_backend, run_segments_batch
+from repro.ingest import InputView, byte_view
+from repro.kernels import (
+    BACKENDS,
+    certify_prefilter,
+    prefilter_scan_scalar,
+    resolve_backend,
+    run_segments_batch,
+)
 
 __all__ = [
     "SoftwareRun",
@@ -114,7 +133,9 @@ def run_segment(
     results are bit-identical.
     """
     if backend != "python":
-        segment = as_symbols(segment)
+        if backend != "prefilter" or not isinstance(segment, np.ndarray):
+            # prefilter keeps byte-width views as-is (zero-copy sweep)
+            segment = as_symbols(segment)
         begin = time.perf_counter()
         functions = run_segments_batch(dfa, partition, [segment], backend=backend)
         return functions[0], time.perf_counter() - begin
@@ -227,7 +248,10 @@ def _share_symbols(syms: np.ndarray):
     Returns the :class:`~multiprocessing.shared_memory.SharedMemory`
     handle, or ``None`` when shared memory is unavailable on this
     platform — callers fall back to pickling segment slices, the
-    pre-shared-memory behavior.
+    pre-shared-memory behavior.  The populate is one dtype-preserving
+    ndarray write: uint8 byte views (memoryview/mmap-backed input) land in
+    shared memory at byte width without an intermediate ``bytes()`` copy
+    or int64 widening.
     """
     try:
         from multiprocessing import shared_memory
@@ -237,7 +261,7 @@ def _share_symbols(syms: np.ndarray):
         obs.counter("software_shm_fallbacks_total").inc()
         return None
     try:
-        view = np.frombuffer(shm.buf, dtype=np.int64, count=syms.size)
+        view = np.frombuffer(shm.buf, dtype=syms.dtype, count=syms.size)
         view[:] = syms
         del view
     except BaseException:
@@ -292,17 +316,71 @@ def _attach_worker_shm(name: str):
 
 
 def _pool_run_segment_shm(
-    partition, shm_name, start, stop, backend, collect=False, seg_index=None,
-    trace_id=None,
+    partition, shm_name, start, stop, backend, dtype="int64", collect=False,
+    seg_index=None, trace_id=None,
 ):
     """Worker-side execution of a ``(shm_name, offset, length)`` segment.
 
     The symbol data is read directly out of the scan's shared-memory
-    segment — nothing but the three coordinates crosses the process
-    boundary.
+    segment — nothing but the coordinates (and the dtype, so uint8 byte
+    views round-trip at byte width) crosses the process boundary.
     """
     shm = _attach_worker_shm(shm_name)
-    symbols = np.frombuffer(shm.buf, dtype=np.int64, count=stop)[start:stop]
+    symbols = np.frombuffer(shm.buf, dtype=np.dtype(dtype), count=stop)[start:stop]
+    return _pool_run_segment(partition, symbols, backend, collect, seg_index,
+                             trace_id)
+
+
+# ----------------------------------------------------------------------
+# mmap input dispatch: workers map the input file themselves
+# ----------------------------------------------------------------------
+
+#: the one mapped input file a worker keeps open ``(path, mmap, file)``;
+#: replaced (old mapping closed) when a scan ships a new path
+_WORKER_MMAP: Optional[Tuple[str, "object", "object"]] = None
+
+
+def _attach_worker_mmap(path: str):
+    """Map (and cache) the scan's input file in a worker.
+
+    The worker-side twin of :func:`_attach_worker_shm` for file-backed
+    :class:`repro.ingest.InputView` inputs: one mapping per worker,
+    swapped when a scan names a different file.
+    """
+    global _WORKER_MMAP
+    if _WORKER_MMAP is not None and _WORKER_MMAP[0] == path:
+        return _WORKER_MMAP[1]
+    import mmap
+
+    if _WORKER_MMAP is not None:
+        for handle in (_WORKER_MMAP[1], _WORKER_MMAP[2]):
+            try:
+                handle.close()
+            except (OSError, BufferError):
+                pass
+        _WORKER_MMAP = None
+    f = open(path, "rb")
+    mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    _WORKER_MMAP = (path, mapped, f)
+    return mapped
+
+
+def _pool_run_segment_mmap(
+    partition, path, start, stop, backend, collect=False, seg_index=None,
+    trace_id=None,
+):
+    """Worker-side execution of a ``(path, offset, length)`` mmap segment.
+
+    ``start``/``stop`` are absolute byte offsets into the file.  The
+    worker maps the file once (page-cache shared with the parent) and
+    aliases the segment as a uint8 view — zero copies anywhere: nothing
+    but the coordinates crosses the process boundary, and no populate
+    step exists at all, unlike the shared-memory path.
+    """
+    mapped = _attach_worker_mmap(path)
+    symbols = np.frombuffer(
+        mapped, dtype=np.uint8, count=stop - start, offset=start
+    )
     return _pool_run_segment(partition, symbols, backend, collect, seg_index,
                              trace_id)
 
@@ -459,9 +537,30 @@ def _software_cse_scan(
         requested = "auto" if backend in (None, "auto") else str(backend)
         backend = resolve_backend(dfa, backend, partition, n_segments)
         rows = _table_rows(dfa)
-    syms = as_symbols(symbols)
+    pf_tables = None
+    if backend == "prefilter":
+        pf_tables = (
+            compiled.prefilter_tables() if compiled is not None
+            else certify_prefilter(dfa)
+        )
+        if pf_tables is None:
+            # explicit request on an uncertifiable machine: the scan must
+            # still be exact, so degrade to the dense frontier (the
+            # resolve_backend auto path never lands here — it only picks
+            # prefilter when certification succeeded)
+            obs.counter("kernels_prefilter_fallbacks_total").inc()
+            backend = "dense"
+    if backend == "prefilter":
+        # keep byte-width input at byte width: the anchor sweep reads the
+        # uint8 view directly, skipped bytes are never widened to int64
+        view8 = byte_view(symbols)
+        syms = view8 if view8 is not None else as_symbols(symbols)
+    else:
+        syms = as_symbols(symbols)
     bounds = even_boundaries(int(syms.size), n_segments)
-    syms_list: Optional[List[int]] = syms.tolist() if executor is None else None
+    syms_list: Optional[List[int]] = (
+        syms.tolist() if executor is None and backend != "prefilter" else None
+    )
     collect = obs.is_enabled()
     trace_id = obs.current_trace_id() if collect else None
     scan_wall = time.time()
@@ -469,16 +568,27 @@ def _software_cse_scan(
 
     # segment 1: concrete scan
     a0, b0 = bounds[0]
-    first_final, first_seconds = scan_sequential(
-        dfa,
-        syms[a0:b0],
-        start_state=start_state,
-        rows=rows,
-        symbol_list=None if syms_list is None else syms_list[a0:b0],
-    )
+    if backend == "prefilter":
+        begin0 = time.perf_counter()
+        first_final, _walked = prefilter_scan_scalar(
+            dfa, pf_tables, syms[a0:b0], start_state=start_state, rows=rows
+        )
+        first_seconds = time.perf_counter() - begin0
+    else:
+        first_final, first_seconds = scan_sequential(
+            dfa,
+            syms[a0:b0],
+            start_state=start_state,
+            rows=rows,
+            symbol_list=None if syms_list is None else syms_list[a0:b0],
+        )
     if collect:
         obs.record_span("software.segment", scan_wall, first_seconds,
                         segment=0, kind="concrete")
+        if backend == "prefilter":
+            obs.counter("kernels_prefilter_skipped_bytes_total").inc(
+                max(0, (b0 - a0) - _walked)
+            )
 
     enum_bounds = bounds[1:]
     if executor is not None:
@@ -488,33 +598,55 @@ def _software_cse_scan(
         pooled = (
             getattr(executor, "_repro_dfa_fingerprint", None) == fingerprint
         )
+        coords = symbols.coords() if isinstance(symbols, InputView) else None
         shm = None
-        if pooled and use_shared_memory is not False and enum_bounds:
-            shm = _share_symbols(syms)
-        try:
-            if shm is not None:
-                futures = [
-                    executor.submit(_pool_run_segment_shm, partition,
-                                    shm.name, a, b, backend, collect, i + 1,
-                                    trace_id)
-                    for i, (a, b) in enumerate(enum_bounds)
-                ]
-            elif pooled:
-                futures = [
-                    executor.submit(_pool_run_segment, partition, syms[a:b],
-                                    backend, collect, i + 1, trace_id)
-                    for i, (a, b) in enumerate(enum_bounds)
-                ]
-            else:
-                futures = [
-                    executor.submit(run_segment, dfa, partition, syms[a:b],
-                                    backend)
-                    for a, b in enum_bounds
-                ]
+        if (
+            pooled and coords is not None and use_shared_memory is not False
+            and enum_bounds
+        ):
+            # file-backed input: workers mmap the file themselves; only
+            # (path, offset, length) coordinates cross the boundary and
+            # there is no populate step at all
+            path, base, _length = coords
+            if collect:
+                obs.counter("software_mmap_scans_total").inc()
+                obs.counter("software_mmap_bytes_total").inc(int(syms.nbytes))
+            futures = [
+                executor.submit(_pool_run_segment_mmap, partition, path,
+                                base + a, base + b, backend, collect, i + 1,
+                                trace_id)
+                for i, (a, b) in enumerate(enum_bounds)
+            ]
             timed = [f.result() for f in futures]
-        finally:
-            if shm is not None:
-                _release_shared(shm)
+        else:
+            if pooled and use_shared_memory is not False and enum_bounds:
+                shm = _share_symbols(syms)
+            try:
+                if shm is not None:
+                    futures = [
+                        executor.submit(_pool_run_segment_shm, partition,
+                                        shm.name, a, b, backend,
+                                        str(syms.dtype), collect, i + 1,
+                                        trace_id)
+                        for i, (a, b) in enumerate(enum_bounds)
+                    ]
+                elif pooled:
+                    futures = [
+                        executor.submit(_pool_run_segment, partition,
+                                        syms[a:b], backend, collect, i + 1,
+                                        trace_id)
+                        for i, (a, b) in enumerate(enum_bounds)
+                    ]
+                else:
+                    futures = [
+                        executor.submit(run_segment, dfa, partition,
+                                        syms[a:b], backend)
+                        for a, b in enum_bounds
+                    ]
+                timed = [f.result() for f in futures]
+            finally:
+                if shm is not None:
+                    _release_shared(shm)
         functions = [entry[0] for entry in timed]
         enum_seconds = [entry[1] for entry in timed]
         if collect and pooled:
@@ -542,6 +674,7 @@ def _software_cse_scan(
                 if compiled is not None and backend == "dense"
                 else None
             ),
+            prefilter=pf_tables,
         )
         kernel_elapsed = time.perf_counter() - kernel_begin
         enum_seconds = [kernel_elapsed / max(1, len(enum_bounds))] * len(enum_bounds)

@@ -11,6 +11,7 @@ Table-I registry the experiment harness iterates over.
 """
 
 from repro.workloads.rulesets import FAMILY_GENERATORS, generate_ruleset
+from repro.workloads.literal import literal_patterns, literal_payload
 from repro.workloads.traces import becchi_trace, random_trace, deepening_symbols
 from repro.workloads.splitting import split_by_delimiter
 from repro.workloads.anml import load_anml, load_anml_dfa
@@ -26,6 +27,8 @@ from repro.workloads.suite import (
 __all__ = [
     "FAMILY_GENERATORS",
     "generate_ruleset",
+    "literal_patterns",
+    "literal_payload",
     "becchi_trace",
     "random_trace",
     "deepening_symbols",

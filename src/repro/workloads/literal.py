@@ -1,0 +1,119 @@
+"""Literal-heavy workloads for the prefilter fast path.
+
+Snort-style payload inspection is dominated by *pure literal* signatures
+(content strings), and real traffic contains long runs of bytes that can
+never start a match.  That is exactly the regime the literal prefilter
+(:mod:`repro.kernels.prefilter`) certifies at compile time, so this
+module generates both halves of the benchmark:
+
+- :func:`literal_patterns` — multi-pattern literal rulesets whose trie
+  DFA is guaranteed literal-certifiable (no regex constructs, so the
+  non-anchor graph is acyclic away from the trie root);
+- :func:`literal_payload` — payload bytes with a *tunable match density*:
+  planted pattern occurrences over filler drawn from bytes outside the
+  patterns' alphabet (the prefilter's best case), or — with
+  ``adversarial=True`` — filler drawn from the patterns' own first bytes,
+  making every filler byte an anchor hit (the prefilter's worst case, the
+  regime the fallback gate measures).
+
+The ``LiteralHeavy`` family registered in
+:data:`repro.workloads.FAMILY_GENERATORS` delegates to
+:func:`literal_patterns`, so the benchmark suite, the equivalence tests
+and ``repro check artifact --family LiteralHeavy`` all draw from the same
+deterministic generator.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["literal_patterns", "literal_payload", "literal_heavy"]
+
+_LOWER = string.ascii_lowercase
+
+
+def literal_patterns(
+    rng: np.random.Generator,
+    n_patterns: int,
+    min_len: int = 5,
+    max_len: int = 12,
+    alphabet: str = _LOWER,
+) -> List[str]:
+    """``n_patterns`` distinct pure-literal signatures.
+
+    Patterns contain no regex metacharacters, so ``compile_ruleset``
+    builds a trie-shaped DFA: every non-root state is reached only
+    through its literal prefix and falls back toward the root on a
+    mismatch — the structure :func:`repro.kernels.derive_prefilter`
+    certifies with the root as the home state.
+    """
+    seen = set()
+    patterns: List[str] = []
+    while len(patterns) < n_patterns:
+        length = int(rng.integers(min_len, max_len + 1))
+        word = "".join(
+            alphabet[int(i)]
+            for i in rng.integers(0, len(alphabet), length)
+        )
+        if word not in seen:
+            seen.add(word)
+            patterns.append(word)
+    return patterns
+
+
+def literal_payload(
+    patterns: Sequence[str],
+    length: int,
+    match_density: float = 0.001,
+    seed: int = 0,
+    adversarial: bool = False,
+    filler: Optional[bytes] = None,
+) -> bytes:
+    """``length`` payload bytes with planted pattern occurrences.
+
+    ``match_density`` is the expected fraction of positions at which a
+    planted pattern *starts* (0 plants nothing).  The space between
+    plants is filler: by default bytes that appear in **no** pattern
+    (upper-case letters, digits, punctuation — the prefilter skips these
+    wholesale); with ``adversarial=True`` the filler is drawn from the
+    patterns' own first bytes, so every position is an anchor hit and the
+    prefilter degenerates to walking.  ``filler`` overrides the pool
+    explicitly.
+
+    Plants may overwrite each other when the density is high; that is
+    deliberate — overlapping plants are exactly the adversarially dense
+    case the equivalence tests need.
+    """
+    if length <= 0:
+        return b""
+    rng = np.random.default_rng(seed)
+    used = {ord(c) for p in patterns for c in p}
+    if filler is not None:
+        pool = np.frombuffer(bytes(filler), dtype=np.uint8)
+    elif adversarial:
+        firsts = sorted({ord(p[0]) for p in patterns if p}) or [0]
+        pool = np.asarray(firsts, dtype=np.uint8)
+    else:
+        clean = [b for b in range(256) if b not in used]
+        pool = np.asarray(clean or list(range(256)), dtype=np.uint8)
+    payload = pool[rng.integers(0, pool.size, length)]
+    n_plants = int(round(match_density * length))
+    if patterns and n_plants > 0:
+        starts = rng.integers(0, length, n_plants)
+        picks = rng.integers(0, len(patterns), n_plants)
+        for start, pick in zip(starts, picks):
+            chunk = patterns[int(pick)].encode("latin-1")
+            start = int(start)
+            end = min(start + len(chunk), length)
+            payload[start:end] = np.frombuffer(
+                chunk[: end - start], dtype=np.uint8
+            )
+    return payload.tobytes()
+
+
+def literal_heavy(rng: np.random.Generator, n_patterns: int) -> List[str]:
+    """The ``LiteralHeavy`` suite family: certifiable literal rulesets."""
+    return literal_patterns(rng, n_patterns)

@@ -27,6 +27,8 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro.workloads.literal import literal_heavy
+
 __all__ = ["FAMILY_GENERATORS", "generate_ruleset"]
 
 _LOWER = string.ascii_lowercase
@@ -269,6 +271,8 @@ FAMILY_GENERATORS: Dict[str, Callable[[np.random.Generator, int], List[str]]] = 
     "Clamav": clamav,
     "Brill": brill,
 }
+
+FAMILY_GENERATORS["LiteralHeavy"] = literal_heavy
 
 
 def generate_ruleset(family: str, n_patterns: int, seed: int) -> List[str]:

@@ -264,7 +264,7 @@ def _functional(run):
 
 
 class TestScanEquivalence:
-    @pytest.mark.parametrize("backend", ["python", "lockstep", "bitset", "dense"])
+    @pytest.mark.parametrize("backend", ["python", "lockstep", "bitset", "dense", "prefilter"])
     def test_cold_warm_disk_bit_identical(self, backend, tmp_path):
         dfa = _random_dfa(seed=21, n_states=24, n_symbols=12)
         syms = _symbols(dfa, n=6000)
@@ -299,7 +299,7 @@ class TestScanEquivalence:
         assert _functional(run) == _functional(reference)
 
     @given(seed=st.integers(0, 2**16), backend=st.sampled_from(
-        ["python", "lockstep", "bitset", "dense"]))
+        ["python", "lockstep", "bitset", "dense", "prefilter"]))
     @settings(max_examples=12, deadline=None)
     def test_property_cold_warm_disk_identical(self, seed, backend, tmp_path_factory):
         dfa = _random_dfa(seed=seed, n_states=10, n_symbols=5)

@@ -420,6 +420,22 @@ class TestTop:
         frame = render_top(snapshots[0], snapshots[1], dt=1.0, tick=1)
         assert "1.00 Msym/s" in frame
 
+    def test_backend_decisions_and_prefilter_rows(self):
+        registry = MetricRegistry()
+        registry.counter("kernels_backend_resolved_total", requested="auto",
+                         backend="prefilter", reason="literal-certified").inc(3)
+        registry.counter("kernels_backend_resolved_total", requested="dense",
+                         backend="dense", reason="explicit").inc()
+        registry.counter("kernels_prefilter_skipped_bytes_total").inc(4096)
+        registry.counter("kernels_prefilter_windows_total").inc(4)
+        registry.counter("kernels_prefilter_fallbacks_total").inc(1)
+        frame = render_top(None, registry.snapshot(), dt=1.0)
+        assert "backend decisions:" in frame
+        assert "resolve auto->prefilter" in frame
+        assert "x3" in frame and "(literal-certified)" in frame
+        assert "resolve dense->dense" in frame and "(explicit)" in frame
+        assert "prefilter" in frame and "fallbacks 1" in frame
+
     def test_file_source(self, tmp_path):
         registry = MetricRegistry()
         registry.counter("software_scans_total").inc()

@@ -73,7 +73,7 @@ class TestBackendEquivalence:
     def test_scan_matches_oracle_all_backends(self, dwp, n_segments):
         dfa, word, partition = dwp
         want = dfa.run(word)
-        for backend in ("python", "lockstep", "bitset", "dense", "auto"):
+        for backend in ("python", "lockstep", "bitset", "dense", "prefilter", "auto"):
             run = software_cse_scan(
                 dfa, word, partition, n_segments=n_segments, backend=backend
             )
