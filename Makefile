@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast bench bench-kernels bench-dense bench-cache \
-        bench-fleet bench-prefilter check check-overhead report examples \
-        clean golden
+        bench-fleet bench-prefilter check check-flow check-overhead report \
+        examples clean golden
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,12 @@ install:
 check:
 	PYTHONPATH=src $(PYTHON) -m repro.cli check artifact --family ExactMatch
 	PYTHONPATH=src $(PYTHON) -m repro.cli check lint src
+
+# flow-sensitive lint alone (R1xx + R2xx resource lifecycle + R3xx
+# dtype flow), gated against the committed baseline, with a SARIF
+# report for CI annotation upload
+check-flow:
+	PYTHONPATH=src $(PYTHON) -m repro.cli check lint src --sarif lint.sarif
 
 test:
 	$(PYTHON) -m pytest tests/ -q

@@ -15,11 +15,20 @@ Two pillars (see ``docs/static_analysis.md`` for every diagnostic code):
   codebase's real failure modes (dtype-less hot-path allocations,
   unguarded shared memory, stray multiprocessing, instrumentation
   bypasses, mutable defaults, overbroad excepts) with an inline
-  ``# repro: noqa(CODE)`` suppression mechanism.
+  ``# repro: noqa(CODE)`` suppression mechanism — plus the
+  flow-sensitive families in :mod:`repro.check.flow`: a per-function
+  CFG + worklist dataflow engine proving resource lifecycles (R2xx:
+  SharedMemory close-and-unlink on every path, file/mmap handles,
+  escaping buffer views, pool teardown) and numpy dtype/value-range
+  safety (R3xx: narrow-integer overflow, out-of-range casts, hot-path
+  upcasts, unguarded gathers) over the repo's own source.
 
 Findings are :class:`~repro.check.diagnostics.Diagnostic` records
-(severity, code, location) rendered as text or JSON; error severity is
-the CI gate (``make check``).
+(severity, code, location) rendered as text, JSON, or SARIF
+(:mod:`repro.check.sarif`); error severity is the CI gate
+(``make check``).  Accepted findings live in a committed baseline
+(:mod:`repro.check.baseline`); repeat runs replay unchanged files from
+a content-hash cache (:mod:`repro.check.cache`).
 """
 
 from repro.check.artifact import (
@@ -46,7 +55,16 @@ from repro.check.diagnostics import (
     render_json,
     render_text,
 )
-from repro.check.lint import RULES, LintRule, lint_paths, lint_source
+from repro.check.baseline import apply_baseline, load_baseline, write_baseline
+from repro.check.cache import cached_lint_paths
+from repro.check.lint import (
+    RULES,
+    LintRule,
+    default_rules,
+    lint_paths,
+    lint_source,
+)
+from repro.check.sarif import render_sarif
 
 __all__ = [
     "CODES",
@@ -69,6 +87,12 @@ __all__ = [
     "certify_partition",
     "RULES",
     "LintRule",
+    "default_rules",
     "lint_source",
     "lint_paths",
+    "cached_lint_paths",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "render_sarif",
 ]

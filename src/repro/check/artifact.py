@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import List, Optional, Sequence, Set, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -690,6 +690,11 @@ def verify_shard(shard: "object",
     return out
 
 
+#: envelope cross-check fields by the format version that introduced
+#: them (see ``repro.compilecache.store.FORMAT_VERSION`` history)
+_ENVELOPE_FIELDS: List[Tuple[int, str]] = [(2, "dense_dtype"), (3, "prefilter")]
+
+
 def verify_artifact_file(path: Union[str, Path],
                          deep: bool = True) -> List[Diagnostic]:
     """Verify an on-disk ``.cdfa`` file: envelope + full artifact checks.
@@ -714,10 +719,25 @@ def verify_artifact_file(path: Union[str, Path],
     out: List[Diagnostic] = []
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
-        out.append(_err(
-            K109,
-            f"format version {version!r} (this build reads "
-            f"{FORMAT_VERSION})", location))
+        # distinguish version *skew* (an older-but-known envelope, the
+        # normal cross-build cache situation) from a version this build
+        # has never heard of: skew names exactly which cross-check
+        # fields the old format lacks so the remedy — recompile to
+        # refresh the cache entry — is obvious from the finding alone
+        if isinstance(version, int) and 1 <= version < FORMAT_VERSION:
+            lacks = [name for v, name in _ENVELOPE_FIELDS if version < v]
+            out.append(_err(
+                K109,
+                f"format version {version} predates this build's "
+                f"{FORMAT_VERSION}; the envelope lacks "
+                f"{', '.join(lacks)} so those cross-checks cannot run — "
+                "recompile to refresh the cache entry",
+                location))
+        else:
+            out.append(_err(
+                K109,
+                f"format version {version!r} (this build reads "
+                f"{FORMAT_VERSION})", location))
     compiled = payload.get("artifact")
     if not isinstance(compiled, CompiledDfa):
         out.append(_err(K110, "envelope carries no CompiledDfa", location))
@@ -734,7 +754,12 @@ def verify_artifact_file(path: Union[str, Path],
             K105,
             "envelope fingerprint does not match the artifact's",
             location))
-    if "dense_dtype" in payload or version == FORMAT_VERSION:
+    # envelope-field cross-checks are gated on the version that
+    # introduced each field: a v1 envelope is not charged for fields its
+    # format never carried, while a v2+ envelope *missing* its required
+    # field is — and an unknown version gets the full battery
+    v = version if isinstance(version, int) else FORMAT_VERSION
+    if "dense_dtype" in payload or v >= 2:
         from repro.kernels import dense_state_dtype
 
         try:
@@ -748,7 +773,7 @@ def verify_artifact_file(path: Union[str, Path],
                 f"envelope dense dtype {payload.get('dense_dtype')!r} does "
                 f"not match the stored DFA's narrowing ({expect_dtype})",
                 location))
-    if "prefilter" in payload or version == FORMAT_VERSION:
+    if "prefilter" in payload or v >= 3:
         from repro.kernels.prefilter import derive_prefilter
 
         try:

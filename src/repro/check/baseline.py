@@ -1,0 +1,90 @@
+"""Findings baseline: accepted diagnostics that must not gate CI.
+
+A new analysis generation (the flow rules) lands on a codebase with
+pre-existing findings that were reviewed and accepted — e.g. the CLI's
+process-lifetime ``InputView`` whose mapping the OS reclaims at exit.
+Deleting them would be churn; suppressing with ``noqa`` would bless
+the *line* forever.  The baseline blesses the *current multiset* of
+findings instead: ``repro check lint`` subtracts baselined findings
+and gates only on what is new.
+
+Keys are ``(code, location, function)`` with per-key counts — line
+numbers are deliberately excluded so unrelated edits that shift a
+function downward do not invalidate the baseline, while a *second*
+leak of the same kind in the same function does surface (count
+exceeded).  Fixing a baselined finding leaves a dangling entry; CI
+stays green, and ``--write-baseline`` refreshes the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.check.diagnostics import Diagnostic
+
+__all__ = ["DEFAULT_BASELINE_PATH", "baseline_key", "load_baseline",
+           "write_baseline", "apply_baseline"]
+
+DEFAULT_BASELINE_PATH = ".repro-lint-baseline.json"
+_BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def baseline_key(diag: Diagnostic) -> Key:
+    return (diag.code, diag.location.replace("\\", "/"),
+            diag.function or "")
+
+
+def load_baseline(path: Union[str, Path]) -> "Counter[Key]":
+    """The accepted-findings multiset; empty for a missing file."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return Counter()
+    if not isinstance(raw, dict) or raw.get("version") != _BASELINE_VERSION:
+        raise ValueError(f"unrecognized baseline file format: {path}")
+    out: "Counter[Key]" = Counter()
+    for entry in raw.get("findings", []):
+        key = (str(entry["code"]), str(entry["location"]),
+               str(entry.get("function", "")))
+        out[key] += int(entry.get("count", 1))
+    return out
+
+
+def write_baseline(diagnostics: Sequence[Diagnostic],
+                   path: Union[str, Path]) -> int:
+    """Accept the given findings as the new baseline; returns the count."""
+    counts: "Counter[Key]" = Counter(
+        baseline_key(d) for d in diagnostics)
+    findings: List[Dict[str, object]] = []
+    for (code, location, function), count in sorted(counts.items()):
+        entry: Dict[str, object] = {"code": code, "location": location,
+                                    "count": count}
+        if function:
+            entry["function"] = function
+        findings.append(entry)
+    payload = {"version": _BASELINE_VERSION, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return sum(counts.values())
+
+
+def apply_baseline(diagnostics: Sequence[Diagnostic],
+                   baseline: "Counter[Key]",
+                   ) -> Tuple[List[Diagnostic], int]:
+    """``(new findings, how many were absorbed by the baseline)``."""
+    budget = Counter(baseline)
+    remaining: List[Diagnostic] = []
+    absorbed = 0
+    for diag in diagnostics:
+        key = baseline_key(diag)
+        if budget[key] > 0:
+            budget[key] -= 1
+            absorbed += 1
+        else:
+            remaining.append(diag)
+    return remaining, absorbed

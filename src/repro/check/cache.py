@@ -1,0 +1,137 @@
+"""Content-hash incremental cache for ``repro check lint``.
+
+The flow rules do real work — CFG construction plus two fixpoint
+solves per function — so a repo-wide cold run costs seconds.  Almost
+none of it changes between runs: lint output is a pure function of
+(file bytes, rule set), so the cache keys each file by the sha256 of
+its bytes plus a signature of the active rule set, and replays the
+serialized diagnostics on a hit.  Edit one file and only that file is
+re-analyzed; warm runs are dominated by hashing.
+
+The cache file (default ``.repro_check_cache.json``, git-ignored) is
+best-effort: unreadable or version-skewed caches are discarded, and a
+failure to write is not an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.check.diagnostics import Diagnostic
+from repro.check.lint import LintRule, expand_paths, lint_source
+
+__all__ = ["DEFAULT_CACHE_PATH", "LintCache", "rules_signature",
+           "cached_lint_paths"]
+
+DEFAULT_CACHE_PATH = ".repro_check_cache.json"
+_CACHE_VERSION = 1
+
+
+def rules_signature(rules: Sequence[LintRule],
+                    check_stale_noqa: bool = False) -> str:
+    """A stable fingerprint of the rule set (and lint options) in force.
+
+    Any difference — a rule added, removed, or renamed, stale-noqa
+    toggled — must miss the cache, or stale findings would replay.
+    """
+    parts = sorted(f"{rule.code}:{rule.name}" for rule in rules)
+    parts.append(f"noqa={check_stale_noqa}")
+    parts.append(f"v={_CACHE_VERSION}")
+    digest = hashlib.sha256("|".join(parts).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class LintCache:
+    """sha256(file bytes) -> serialized diagnostics, per rule signature."""
+
+    def __init__(self, path: Union[str, Path], signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self._files: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) \
+                or raw.get("version") != _CACHE_VERSION \
+                or raw.get("signature") != self.signature:
+            return
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def get(self, path: str, sha: str) -> Optional[List[Diagnostic]]:
+        entry = self._files.get(path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return None
+        stored = entry.get("diagnostics")
+        if not isinstance(stored, list):
+            return None
+        try:
+            return [Diagnostic.from_dict(d) for d in stored]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, path: str, sha: str,
+            diagnostics: Sequence[Diagnostic]) -> None:
+        self._files[path] = {
+            "sha": sha,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+
+    def save(self) -> None:
+        payload = {
+            "version": _CACHE_VERSION,
+            "signature": self.signature,
+            "files": self._files,
+        }
+        try:
+            self.path.write_text(json.dumps(payload, sort_keys=True),
+                                 encoding="utf-8")
+        except OSError:
+            pass  # a cache that cannot persist is just a cold cache
+
+
+def cached_lint_paths(paths: Sequence[Union[str, Path]],
+                      rules: Sequence[LintRule],
+                      cache_path: Optional[Union[str, Path]] = None,
+                      check_stale_noqa: bool = False,
+                      ) -> List[Diagnostic]:
+    """:func:`repro.check.lint.lint_paths` with per-file caching.
+
+    ``cache_path=None`` disables caching entirely (identical output,
+    every file analyzed fresh).
+    """
+    cache: Optional[LintCache] = None
+    if cache_path is not None:
+        cache = LintCache(cache_path,
+                          rules_signature(rules, check_stale_noqa))
+    out: List[Diagnostic] = []
+    for f in expand_paths(paths):
+        raw = f.read_bytes()
+        sha = hashlib.sha256(raw).hexdigest()
+        key = str(f)
+        if cache is not None:
+            hit = cache.get(key, sha)
+            if hit is not None:
+                cache.hits += 1
+                out.extend(hit)
+                continue
+            cache.misses += 1
+        diagnostics = lint_source(
+            raw.decode("utf-8"), path=key, rules=rules,
+            check_stale_noqa=check_stale_noqa)
+        if cache is not None:
+            cache.put(key, sha, diagnostics)
+        out.extend(diagnostics)
+    if cache is not None:
+        cache.save()
+    return out

@@ -58,6 +58,7 @@ class Diagnostic:
     location: str = ""
     line: Optional[int] = None
     rule: Optional[str] = None
+    function: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -83,7 +84,25 @@ class Diagnostic:
             out["line"] = self.line
         if self.rule is not None:
             out["rule"] = self.rule
+        if self.function is not None:
+            out["function"] = self.function
         return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (baseline files, the lint cache)."""
+        line = data.get("line")
+        rule = data.get("rule")
+        function = data.get("function")
+        return cls(
+            code=str(data["code"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+            location=str(data.get("location", "")),
+            line=int(line) if isinstance(line, int) else None,
+            rule=str(rule) if rule is not None else None,
+            function=str(function) if function is not None else None,
+        )
 
 
 def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:

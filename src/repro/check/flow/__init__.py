@@ -1,0 +1,40 @@
+"""Flow-sensitive static analysis: CFG + dataflow + R2xx/R3xx rules.
+
+The package has three layers, each usable on its own:
+
+``cfg``
+    lowers one function's AST to a control-flow graph with explicit
+    exception edges, ``finally`` duplication per continuation, and
+    synthetic ``with``-exit events.
+``dataflow``
+    a generic forward/backward worklist solver with widening.
+``resources`` / ``dtypeflow``
+    the two rule families built on top — resource-lifecycle
+    (R201–R206) and numpy dtype/value-range abstract interpretation
+    (R301–R304).
+
+:data:`FLOW_RULES` is what ``repro check lint --flow`` (the default)
+appends to the per-node rule set.
+"""
+
+from __future__ import annotations
+
+from repro.check.flow.cfg import CFG, Block, Event, build_cfg, iter_functions
+from repro.check.flow.dataflow import Analysis, solve
+from repro.check.flow.dtypeflow import DtypeFlowRule
+from repro.check.flow.resources import ResourceFlowRule
+
+__all__ = [
+    "Analysis",
+    "Block",
+    "CFG",
+    "DtypeFlowRule",
+    "Event",
+    "FLOW_RULES",
+    "ResourceFlowRule",
+    "build_cfg",
+    "iter_functions",
+    "solve",
+]
+
+FLOW_RULES = [ResourceFlowRule(), DtypeFlowRule()]

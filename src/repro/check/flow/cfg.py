@@ -1,0 +1,419 @@
+"""Intraprocedural control-flow graphs over Python source.
+
+The PR-4 lint sees one AST node at a time; the flow rules
+(:mod:`repro.check.flow.resources`, :mod:`repro.check.flow.dtypeflow`)
+need *paths* — "is this handle closed on every way out of the
+function", "what range can this expression hold after the loop".  This
+module lowers one ``ast.FunctionDef`` into a :class:`CFG` those
+analyses can run a worklist solver over.
+
+Lowering decisions (all chosen so may/must dataflow stays sound):
+
+- **one statement per block** — exception edges attach to exactly the
+  statement that can raise, so a must-analysis never credits cleanup
+  code that a raise would have skipped;
+- ``if``/``while``/``for`` produce the usual diamond/loop shapes with
+  ``break``/``continue`` resolved against an enclosing-loop stack;
+  ``while True`` omits the false edge so code after an unbreakable loop
+  is not treated as reachable;
+- every statement that can raise gets an edge to the innermost
+  exception continuation — the enclosing ``try``'s handlers (plus its
+  ``finally``), or the function's :attr:`CFG.raise_exit`;
+- ``finally`` bodies are **duplicated per continuation** (normal exit,
+  exception propagation, and each ``return``/``break``/``continue``
+  that jumps through them), the classic inlining that keeps
+  "``return`` still runs the ``finally`` cleanup" precise without
+  interprocedural reasoning — the shared AST nodes keep their line
+  numbers, only the blocks are copies;
+- ``with`` lowers to enter-event + body + a synthetic
+  :data:`WITH_EXIT` event on *every* outgoing path (it is exactly a
+  ``try``/``finally`` whose finalizer calls ``__exit__``), which is how
+  the resource rules learn that ``with open(...)`` closes on all paths;
+- nested ``def``/``lambda``/comprehensions are *not* descended into:
+  their bodies run at another time (or scope), so their statements must
+  not appear on the enclosing function's paths.  The defining statement
+  itself is kept as an event so escape analysis can see captured names.
+
+Functions here are deliberately small: the graph is plain data
+(:class:`Block` lists), and the solver in
+:mod:`repro.check.flow.dataflow` is the only consumer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = ["STMT", "TEST", "WITH_ENTER", "WITH_EXIT", "FOR_ITER",
+           "Event", "Block", "CFG", "build_cfg", "iter_functions"]
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: event kinds
+STMT = "stmt"            # a simple statement (Assign, Expr, Return, ...)
+TEST = "test"            # a branch/loop condition expression
+WITH_ENTER = "with-enter"  # a withitem: context expr evaluated + bound
+WITH_EXIT = "with-exit"    # a withitem: __exit__ runs (close semantics)
+FOR_ITER = "for-iter"      # a For header: iterator advanced + target bound
+
+
+class Event:
+    """One step of execution inside a block: an AST node plus its role."""
+
+    __slots__ = ("kind", "node")
+
+    def __init__(self, kind: str, node: ast.AST) -> None:
+        self.kind = kind
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        line = getattr(self.node, "lineno", "?")
+        return f"Event({self.kind}, L{line})"
+
+
+class Block:
+    """A straight-line run of events with explicit successor edges."""
+
+    __slots__ = ("bid", "events", "succs", "preds", "label")
+
+    def __init__(self, bid: int, label: str = "") -> None:
+        self.bid = bid
+        self.events: List[Event] = []
+        self.succs: List["Block"] = []
+        self.preds: List["Block"] = []
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Block({self.bid}{' ' + self.label if self.label else ''}, "
+                f"{len(self.events)} ev, -> "
+                f"{[s.bid for s in self.succs]})")
+
+
+class CFG:
+    """The graph for one function: entry, normal exit, raise exit."""
+
+    def __init__(self, func: FuncDef) -> None:
+        self.func = func
+        self.blocks: List[Block] = []
+        #: (src bid, dst bid) pairs that are taken only when the src
+        #: block's statement *raises* — its side effects (a binding, a
+        #: close) may not have happened, so the solver lets the analysis
+        #: supply a separate fact for these edges (``exc_transfer``)
+        self.exc_edges: Set[Tuple[int, int]] = set()
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.raise_exit = self.new_block("raise-exit")
+
+    def new_block(self, label: str = "") -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: Block, dst: Block, exc: bool = False) -> None:
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+            if exc:
+                self.exc_edges.add((src.bid, dst.bid))
+        elif not exc:
+            # re-added as a normal edge: normal semantics win (the
+            # statement's effects definitely apply on some taking)
+            self.exc_edges.discard((src.bid, dst.bid))
+
+    def exits(self) -> Tuple[Block, Block]:
+        return self.exit, self.raise_exit
+
+
+#: statements that can never raise — everything else gets an exception
+#: edge to the innermost handler continuation
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal,
+             ast.Import, ast.ImportFrom)
+
+#: bare ``x.<verb>()`` release calls are modelled as non-raising: a
+#: close that fails leaves nothing the caller could still release, and
+#: keeping the edge would warn on every ``close(); unlink()`` pair
+_RELEASE_ATTRS = frozenset({"close", "unlink", "shutdown", "stop",
+                            "terminate"})
+
+
+def _is_release_call(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr in _RELEASE_ATTRS)
+
+
+def _is_catch_all(type_expr: Optional[ast.expr]) -> bool:
+    """Whether an ``except`` clause catches every exception."""
+    if type_expr is None:
+        return True
+    if isinstance(type_expr, ast.Name):
+        return type_expr.id in ("BaseException", "Exception")
+    if isinstance(type_expr, ast.Attribute):
+        return type_expr.attr in ("BaseException", "Exception")
+    if isinstance(type_expr, ast.Tuple):
+        return any(_is_catch_all(elt) for elt in type_expr.elts)
+    return False
+
+
+class _Builder:
+    """Lowers one function body; reentrant for ``finally`` duplication."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        # (continue_target, break_target, loop_depth_of_finally_stack)
+        self.loop_stack: List[Tuple[Block, Block, int]] = []
+        # innermost-last; each entry is (cleanup statements or synthetic
+        # events, exc_stack depth in effect *outside* the owning try) —
+        # the depth restores the right exception continuation when the
+        # cleanup is inlined for a return/break/continue
+        self.finally_stack: List[
+            Tuple[Sequence[Union[ast.stmt, Event]], int]] = []
+        # innermost-last; each entry is the blocks an exception may
+        # continue at (handler entries and/or a finally prologue)
+        self.exc_stack: List[List[Block]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _exc_targets(self) -> List[Block]:
+        return self.exc_stack[-1] if self.exc_stack else [self.cfg.raise_exit]
+
+    def _event_block(self, event: Event, cur: Block,
+                     can_raise: bool = True) -> Block:
+        """Append ``event`` in its own block after ``cur``; return it."""
+        block = self.cfg.new_block()
+        block.events.append(event)
+        self.cfg.add_edge(cur, block)
+        if can_raise:
+            for target in self._exc_targets():
+                self.cfg.add_edge(block, target, exc=True)
+        return block
+
+    def _run_finallys(self, cur: Block, upto: int = 0) -> Block:
+        """Inline every enclosing ``finally`` body innermost-first.
+
+        ``upto`` bounds the unwind (loop ``break`` only runs finallys
+        inside the loop).  Returns the block the continuation resumes
+        from once the cleanup copies have run.
+        """
+        saved_fin = self.finally_stack
+        saved_exc = self.exc_stack
+        for i in range(len(saved_fin) - 1, upto - 1, -1):
+            body, exc_depth = saved_fin[i]
+            # the duplicated cleanup runs outside its own try: restore
+            # the exception continuation that enclosed the try itself
+            self.finally_stack = list(saved_fin[:i])
+            self.exc_stack = list(saved_exc[:exc_depth])
+            cur = self._lower_body(body, cur)
+        self.finally_stack = saved_fin
+        self.exc_stack = saved_exc
+        return cur
+
+    # -- statement lowering --------------------------------------------
+    def _lower_body(self, body: Sequence[Union[ast.stmt, Event]],
+                    cur: Block) -> Block:
+        for stmt in body:
+            if isinstance(stmt, Event):
+                cur = self._event_block(stmt, cur)
+                continue
+            cur = self._lower_stmt(stmt, cur)
+        return cur
+
+    def _lower_stmt(self, stmt: ast.stmt, cur: Block) -> Block:
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, cur)
+        if isinstance(stmt, ast.While):
+            return self._lower_while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._lower_for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._lower_with(stmt, cur)
+        if isinstance(stmt, ast.Return):
+            block = self._event_block(Event(STMT, stmt), cur)
+            after = self._run_finallys(block)
+            self.cfg.add_edge(after, self.cfg.exit)
+            return self.cfg.new_block("dead")
+        if isinstance(stmt, ast.Raise):
+            # the exception edge added by _event_block is the whole
+            # story: control never falls through a raise
+            self._event_block(Event(STMT, stmt), cur)
+            return self.cfg.new_block("dead")
+        if isinstance(stmt, ast.Break):
+            block = self._event_block(Event(STMT, stmt), cur,
+                                      can_raise=False)
+            if self.loop_stack:
+                _, break_target, depth = self.loop_stack[-1]
+                after = self._run_finallys(block, upto=depth)
+                self.cfg.add_edge(after, break_target)
+            return self.cfg.new_block("dead")
+        if isinstance(stmt, ast.Continue):
+            block = self._event_block(Event(STMT, stmt), cur,
+                                      can_raise=False)
+            if self.loop_stack:
+                continue_target, _, depth = self.loop_stack[-1]
+                after = self._run_finallys(block, upto=depth)
+                self.cfg.add_edge(after, continue_target)
+            return self.cfg.new_block("dead")
+        # nested defs/classes are events (escape analysis reads their
+        # free names) but their bodies are other scopes — no descent
+        can_raise = not isinstance(stmt, _NO_RAISE) \
+            and not _is_release_call(stmt)
+        return self._event_block(Event(STMT, stmt), cur, can_raise=can_raise)
+
+    def _lower_if(self, stmt: ast.If, cur: Block) -> Block:
+        test = self._event_block(Event(TEST, stmt.test), cur)
+        join = self.cfg.new_block("if-join")
+        then_end = self._lower_body(stmt.body, test)
+        self.cfg.add_edge(then_end, join)
+        if stmt.orelse:
+            else_end = self._lower_body(stmt.orelse, test)
+            self.cfg.add_edge(else_end, join)
+        else:
+            self.cfg.add_edge(test, join)
+        return join
+
+    @staticmethod
+    def _always_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _lower_while(self, stmt: ast.While, cur: Block) -> Block:
+        header = self._event_block(Event(TEST, stmt.test), cur)
+        after = self.cfg.new_block("loop-after")
+        self.loop_stack.append((header, after, len(self.finally_stack)))
+        body_end = self._lower_body(stmt.body, header)
+        self.cfg.add_edge(body_end, header)  # back edge
+        self.loop_stack.pop()
+        if not self._always_true(stmt.test):
+            if stmt.orelse:
+                else_end = self._lower_body(stmt.orelse, header)
+                self.cfg.add_edge(else_end, after)
+            else:
+                self.cfg.add_edge(header, after)
+        return after
+
+    def _lower_for(self, stmt: Union[ast.For, ast.AsyncFor],
+                   cur: Block) -> Block:
+        header = self._event_block(Event(FOR_ITER, stmt), cur)
+        after = self.cfg.new_block("loop-after")
+        self.loop_stack.append((header, after, len(self.finally_stack)))
+        body_end = self._lower_body(stmt.body, header)
+        self.cfg.add_edge(body_end, header)
+        self.loop_stack.pop()
+        if stmt.orelse:
+            else_end = self._lower_body(stmt.orelse, header)
+            self.cfg.add_edge(else_end, after)
+        else:
+            self.cfg.add_edge(header, after)  # iterator may be empty
+        return after
+
+    def _lower_try(self, stmt: ast.Try, cur: Block) -> Block:
+        after = self.cfg.new_block("try-after")
+        handler_entries = [self.cfg.new_block("handler")
+                           for _ in stmt.handlers]
+        # an exception in the body may land in any handler; if a
+        # finally exists it also runs on the unmatched-exception path
+        exc_continuations: List[Block] = list(handler_entries)
+        fin_prologue: Optional[Block] = None
+        if stmt.finalbody:
+            fin_prologue = self.cfg.new_block("finally-exc")
+            exc_continuations.append(fin_prologue)
+            self.finally_stack.append((stmt.finalbody, len(self.exc_stack)))
+        elif not any(_is_catch_all(h.type) for h in stmt.handlers):
+            # no finally and no catch-all handler: an unmatched
+            # exception propagates straight past this try
+            exc_continuations.extend(self._exc_targets())
+        self.exc_stack.append(exc_continuations)
+        body_end = self._lower_body(stmt.body, cur)
+        if stmt.orelse:
+            body_end = self._lower_body(stmt.orelse, body_end)
+        self.exc_stack.pop()
+
+        # handler bodies run outside the try; their own exceptions
+        # propagate outward — through the finally when present
+        handler_ends: List[Block] = []
+        if stmt.finalbody:
+            assert fin_prologue is not None
+            self.exc_stack.append([fin_prologue])
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            if handler.type is not None:
+                entry.events.append(Event(TEST, handler.type))
+            if handler.name:
+                entry.events.append(Event(STMT, handler))
+            handler_ends.append(self._lower_body(handler.body, entry))
+        if stmt.finalbody:
+            self.exc_stack.pop()
+            self.finally_stack.pop()
+            # normal continuation: body/handlers fall into one shared
+            # copy of the finally, then proceed to `after`
+            fin_norm = self.cfg.new_block("finally")
+            self.cfg.add_edge(body_end, fin_norm)
+            for end in handler_ends:
+                self.cfg.add_edge(end, fin_norm)
+            fin_norm_end = self._lower_body(stmt.finalbody, fin_norm)
+            self.cfg.add_edge(fin_norm_end, after)
+            # exceptional continuation: its own copy, then re-raise
+            assert fin_prologue is not None
+            fin_exc_end = self._lower_body(stmt.finalbody, fin_prologue)
+            for target in self._exc_targets():
+                self.cfg.add_edge(fin_exc_end, target)
+        else:
+            self.cfg.add_edge(body_end, after)
+            for end in handler_ends:
+                self.cfg.add_edge(end, after)
+        return after
+
+    def _lower_with(self, stmt: Union[ast.With, ast.AsyncWith],
+                    cur: Block) -> Block:
+        # `with a, b:` is nested withs; lower innermost-last
+        exits = [Event(WITH_EXIT, item) for item in stmt.items]
+        for item in stmt.items:
+            cur = self._event_block(Event(WITH_ENTER, item), cur)
+        after = self.cfg.new_block("with-after")
+        # __exit__ runs on every way out: model as a finally whose body
+        # is the synthetic exit events (innermost manager exits first)
+        fin_body: List[Event] = list(reversed(exits))
+        fin_prologue = self.cfg.new_block("with-exc")
+        self.finally_stack.append((fin_body, len(self.exc_stack)))
+        self.exc_stack.append([fin_prologue])
+        body_end = self._lower_body(stmt.body, cur)
+        self.exc_stack.pop()
+        self.finally_stack.pop()
+        norm_end = self._lower_body(fin_body, body_end)
+        self.cfg.add_edge(norm_end, after)
+        exc_end = self._lower_body(fin_body, fin_prologue)
+        for target in self._exc_targets():
+            self.cfg.add_edge(exc_end, target)
+        return after
+
+
+def build_cfg(func: FuncDef) -> CFG:
+    """Lower one function definition to its control-flow graph."""
+    cfg = CFG(func)
+    builder = _Builder(cfg)
+    end = builder._lower_body(func.body, cfg.entry)
+    cfg.add_edge(end, cfg.exit)  # implicit `return None`
+    # prune unreachable blocks (dead blocks after return/raise, empty
+    # joins) so the solver never visits them
+    reachable = set()
+    stack = [cfg.entry]
+    while stack:
+        block = stack.pop()
+        if block.bid in reachable:
+            continue
+        reachable.add(block.bid)
+        stack.extend(block.succs)
+    cfg.blocks = [b for b in cfg.blocks if b.bid in reachable]
+    for block in cfg.blocks:
+        block.succs = [s for s in block.succs if s.bid in reachable]
+        block.preds = [p for p in block.preds if p.bid in reachable]
+    cfg.exc_edges = {(src, dst) for src, dst in cfg.exc_edges
+                     if src in reachable and dst in reachable}
+    return cfg
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FuncDef]:
+    """Every function definition in the module, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,135 @@
+"""Generic worklist dataflow solver over :mod:`repro.check.flow.cfg`.
+
+An analysis supplies a lattice (initial fact, ``join``, equality) and a
+``transfer`` function from a block's input fact to its output fact; the
+solver iterates to a fixpoint.  Forward and backward directions share
+one engine — backward analyses run on the reversed edge relation.
+
+Termination on lattices of unbounded height (the interval lattice of
+:mod:`repro.check.flow.dtypeflow`) comes from *widening*: once a block
+has been visited :attr:`Analysis.widen_after` times, the newly joined
+input is widened against the previous one (typically jumping growing
+bounds straight to the dtype's extremes), which caps the ascending
+chain.  Analyses over finite lattices (the resource-state machine of
+:mod:`repro.check.flow.resources`) leave ``widen`` unimplemented.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Generic, List, Optional, TypeVar
+
+from repro.check.flow.cfg import CFG, Block
+
+__all__ = ["Analysis", "solve"]
+
+Fact = TypeVar("Fact")
+
+
+class Analysis(Generic[Fact]):
+    """A dataflow problem: lattice + transfer.  Subclass and override."""
+
+    #: "forward" (facts flow entry -> exit) or "backward"
+    direction: str = "forward"
+    #: visits of one block before widening kicks in
+    widen_after: int = 3
+
+    def initial(self) -> Fact:
+        """The fact at the boundary (entry for forward analyses)."""
+        raise NotImplementedError
+
+    def bottom(self) -> Fact:
+        """The identity of ``join`` — the fact of an unreached block."""
+        raise NotImplementedError
+
+    def join(self, a: Fact, b: Fact) -> Fact:
+        raise NotImplementedError
+
+    def equal(self, a: Fact, b: Fact) -> bool:
+        return bool(a == b)
+
+    def transfer(self, block: Block, fact: Fact) -> Fact:
+        """The fact after executing ``block`` given ``fact`` before it."""
+        raise NotImplementedError
+
+    def exc_transfer(self, block: Block, in_fact: Fact,
+                     out_fact: Fact) -> Fact:
+        """The fact carried by ``block``'s *exception* edges.
+
+        When a statement raises, its side effects may not have applied:
+        an acquisition's binding never happened, so the resource rules
+        return ``in_fact`` for those blocks.  Default: the normal
+        ``out_fact`` (sound for analyses that join both anyway).
+        """
+        return out_fact
+
+    def widen(self, old: Fact, new: Fact) -> Fact:
+        """Accelerate convergence; default is plain join (finite lattices)."""
+        return self.join(old, new)
+
+
+def solve(cfg: CFG, analysis: Analysis[Fact]) -> Dict[int, Fact]:
+    """Run ``analysis`` to fixpoint; returns the *input* fact per block.
+
+    The input fact of a block is the join over its predecessors' output
+    facts (successors' for backward analyses), with ``initial()`` at the
+    boundary block.  Callers re-apply ``transfer`` on a block when they
+    need the fact at a specific event inside it.
+    """
+    forward = analysis.direction == "forward"
+    boundary = cfg.entry if forward else cfg.exit
+
+    def preds(block: Block) -> List[Block]:
+        return block.preds if forward else block.succs
+
+    def succs(block: Block) -> List[Block]:
+        return block.succs if forward else block.preds
+
+    in_facts: Dict[int, Fact] = {}
+    out_facts: Dict[int, Fact] = {}
+    exc_outs: Dict[int, Fact] = {}
+    visits: Dict[int, int] = {}
+    worklist: "deque[Block]" = deque(cfg.blocks)
+    queued = {b.bid for b in cfg.blocks}
+
+    def edge_fact(pred: Block, block: Block) -> Fact:
+        # forward only: an exceptional edge carries the analysis's
+        # raise-time fact instead of the normal out-fact
+        if forward and (pred.bid, block.bid) in cfg.exc_edges:
+            return exc_outs[pred.bid]
+        return out_facts[pred.bid]
+
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block.bid)
+        if block is boundary:
+            joined = analysis.initial()
+        else:
+            acc: Optional[Fact] = None
+            for pred in preds(block):
+                if pred.bid not in out_facts:
+                    continue
+                fact = edge_fact(pred, block)
+                acc = fact if acc is None else analysis.join(acc, fact)
+            joined = acc if acc is not None else analysis.bottom()
+        old_in = in_facts.get(block.bid)
+        visits[block.bid] = visits.get(block.bid, 0) + 1
+        if old_in is not None and visits[block.bid] > analysis.widen_after:
+            joined = analysis.widen(old_in, joined)
+        if old_in is not None and analysis.equal(old_in, joined) \
+                and block.bid in out_facts:
+            continue
+        in_facts[block.bid] = joined
+        new_out = analysis.transfer(block, joined)
+        new_exc = analysis.exc_transfer(block, joined, new_out)
+        old_out = out_facts.get(block.bid)
+        old_exc = exc_outs.get(block.bid)
+        out_facts[block.bid] = new_out
+        exc_outs[block.bid] = new_exc
+        if old_out is None or not analysis.equal(old_out, new_out) \
+                or old_exc is None or not analysis.equal(old_exc, new_exc):
+            for succ in succs(block):
+                if succ.bid not in queued:
+                    worklist.append(succ)
+                    queued.add(succ.bid)
+    return in_facts

@@ -29,24 +29,37 @@ R105  Mutable default argument (list/dict/set literal or constructor).
 R106  Bare ``except:`` or an overbroad handler (``except BaseException``
       / ``except Exception``) that does not re-raise.
 
+The flow-sensitive families R2xx (resource lifecycle) and R3xx (dtype
+and value-range abstract interpretation) live in
+:mod:`repro.check.flow` and are appended by :func:`default_rules` —
+the set ``repro check lint`` runs unless ``--no-flow`` is given.
+
 Suppression: append ``# repro: noqa(R102)`` (or ``# repro: noqa`` for
 all codes) to the flagged line.  Suppressions are deliberate, reviewed
 exceptions — e.g. the worker-side shared-memory attach in
-``repro/software.py`` whose handle is unlinked by the parent.
+``repro/software.py`` whose handle is unlinked by the parent.  R107
+reports suppressions that no longer suppress anything (stale after a
+refactor); it only runs when the full rule set does
+(``check_stale_noqa=True``) and is deliberately not suppressible
+itself — a ``noqa(R107)`` would make every stale comment self-hiding.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Set, Union
 
 from repro.check.diagnostics import Diagnostic, register_code
 
-__all__ = ["RULES", "LintRule", "lint_source", "lint_paths"]
+__all__ = ["RULES", "LintRule", "default_rules", "lint_source",
+           "lint_paths"]
 
 R100 = register_code("R100", "file does not parse")
+R107 = register_code("R107", "stale noqa suppresses nothing")
 R101 = register_code("R101", "dtype-less numpy constructor in a hot path")
 R102 = register_code("R102", "SharedMemory without close-and-unlink cleanup")
 R103 = register_code("R103", "multiprocessing outside segment_pool")
@@ -403,6 +416,19 @@ RULES: List[LintRule] = [
 ]
 
 
+def default_rules(flow: bool = True) -> List[LintRule]:
+    """The rule set ``repro check lint`` runs: per-node + flow families.
+
+    The flow package is imported lazily so ``repro.check.lint`` stays
+    importable (and :data:`RULES` usable) without it.
+    """
+    rules = list(RULES)
+    if flow:
+        from repro.check.flow import FLOW_RULES
+        rules.extend(FLOW_RULES)  # type: ignore[arg-type]
+    return rules
+
+
 def _noqa_codes(line: str) -> Optional[Set[str]]:
     """Codes suppressed on this line; empty set means *all* codes."""
     match = _NOQA_RE.search(line)
@@ -412,6 +438,25 @@ def _noqa_codes(line: str) -> Optional[Set[str]]:
     if not codes:
         return set()
     return {c.strip() for c in codes.split(",") if c.strip()}
+
+
+def _noqa_comment_lines(source: str) -> Set[int]:
+    """Lines carrying an actual ``# repro: noqa`` *comment token*.
+
+    The regex alone would also match prose quoting the marker inside a
+    docstring (this module's own docstring does), which must not count
+    as a suppression site for R107.
+    """
+    out: Set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT \
+                    and _NOQA_RE.search(tok.string):
+                out.add(tok.start[0])
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass  # unparseable tail: R100 reports it; no stale-noqa pass
+    return out
 
 
 def _suppressed(diag: Diagnostic, lines: Sequence[str]) -> bool:
@@ -424,9 +469,15 @@ def _suppressed(diag: Diagnostic, lines: Sequence[str]) -> bool:
 
 
 def lint_source(source: str, path: str = "<string>",
-                rules: Optional[Sequence[LintRule]] = None
-                ) -> List[Diagnostic]:
-    """Lint one source string; ``path`` drives the module-scoped rules."""
+                rules: Optional[Sequence[LintRule]] = None,
+                check_stale_noqa: bool = False) -> List[Diagnostic]:
+    """Lint one source string; ``path`` drives the module-scoped rules.
+
+    ``check_stale_noqa`` adds R107 findings for ``# repro: noqa``
+    comments that suppressed nothing.  Only pass it when ``rules`` is
+    the *full* set (:func:`default_rules`): with rules missing, their
+    suppressions would look stale.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -436,18 +487,29 @@ def lint_source(source: str, path: str = "<string>",
             location=path, line=exc.lineno)]
     ctx = LintContext(tree, source, path)
     out: List[Diagnostic] = []
+    used_noqa_lines: Set[int] = set()
     for rule in rules if rules is not None else RULES:
         for diag in rule.check(ctx):
-            if not _suppressed(diag, ctx.lines):
+            if _suppressed(diag, ctx.lines):
+                if diag.line is not None:
+                    used_noqa_lines.add(diag.line)
+            else:
                 out.append(diag)
+    if check_stale_noqa:
+        for lineno in sorted(_noqa_comment_lines(source)):
+            if lineno not in used_noqa_lines:
+                out.append(Diagnostic(
+                    code=R107, severity="warning", rule="stale-noqa",
+                    location=ctx.path, line=lineno,
+                    message="this `# repro: noqa` suppresses nothing; "
+                            "the finding it excused is gone — remove "
+                            "the comment or it will hide the next one"))
     out.sort(key=lambda d: (d.location, d.line or 0, d.code))
     return out
 
 
-def lint_paths(paths: Sequence[Union[str, Path]],
-               rules: Optional[Sequence[LintRule]] = None
-               ) -> List[Diagnostic]:
-    """Lint every ``.py`` file under the given files/directories."""
+def expand_paths(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Files/directories -> the ordered list of ``.py`` files to lint."""
     files: List[Path] = []
     for entry in paths:
         p = Path(entry)
@@ -455,8 +517,16 @@ def lint_paths(paths: Sequence[Union[str, Path]],
             files.extend(sorted(p.rglob("*.py")))
         else:
             files.append(p)
+    return files
+
+
+def lint_paths(paths: Sequence[Union[str, Path]],
+               rules: Optional[Sequence[LintRule]] = None,
+               check_stale_noqa: bool = False) -> List[Diagnostic]:
+    """Lint every ``.py`` file under the given files/directories."""
     out: List[Diagnostic] = []
-    for f in files:
+    for f in expand_paths(paths):
         out.extend(lint_source(f.read_text(encoding="utf-8"),
-                               path=str(f), rules=rules))
+                               path=str(f), rules=rules,
+                               check_stale_noqa=check_stale_noqa))
     return out

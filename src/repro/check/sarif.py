@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 export of ``repro check`` diagnostics.
+
+SARIF is the interchange format CI forges understand natively: upload
+the report as an artifact (or to a code-scanning endpoint) and the
+R2xx/R3xx findings appear as inline annotations on the PR diff instead
+of a wall of job-log text.  Only the small slice of the spec that
+renders annotations is emitted: one ``run`` of one ``tool`` with a
+rule table drawn from the registered :data:`repro.check.CODES` and one
+``result`` per diagnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.check.diagnostics import CODES, Diagnostic
+
+__all__ = ["SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+#: diagnostic severity -> SARIF result level
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic],
+                 tool_version: str = "0") -> str:
+    """The findings as a SARIF 2.1.0 JSON document (a string)."""
+    used_codes = sorted({d.code for d in diagnostics})
+    rules: List[Dict[str, object]] = [
+        {
+            "id": code,
+            "shortDescription": {"text": CODES.get(code, code)},
+        }
+        for code in used_codes
+    ]
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+    results: List[Dict[str, object]] = []
+    for diag in diagnostics:
+        result: Dict[str, object] = {
+            "ruleId": diag.code,
+            "ruleIndex": rule_index[diag.code],
+            "level": _LEVELS.get(diag.severity, "warning"),
+            "message": {"text": diag.message},
+        }
+        if diag.location:
+            region: Dict[str, object] = {}
+            if diag.line is not None:
+                region["startLine"] = diag.line
+            location: Dict[str, object] = {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.location.replace("\\", "/"),
+                    },
+                },
+            }
+            if region:
+                physical = location["physicalLocation"]
+                assert isinstance(physical, dict)
+                physical["region"] = region
+            if diag.function:
+                location["logicalLocations"] = [
+                    {"name": diag.function, "kind": "function"},
+                ]
+            result["locations"] = [location]
+        results.append(result)
+    document = {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "version": tool_version,
+                        "informationUri":
+                            "https://example.invalid/repro-check",
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            },
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -637,14 +637,60 @@ def _check_artifact(args) -> int:
 
 def _check_lint(args) -> int:
     from repro import check as chk
+    from repro.check.baseline import (
+        DEFAULT_BASELINE_PATH,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.check.cache import DEFAULT_CACHE_PATH, cached_lint_paths
+    from repro.check.lint import default_rules
+    from repro.check.sarif import render_sarif
 
     paths = args.paths or ["src"]
-    diagnostics = chk.lint_paths(paths)
+    rules = default_rules(flow=args.flow)
+    cache_path = None if args.no_cache else (args.cache
+                                             or DEFAULT_CACHE_PATH)
+    try:
+        diagnostics = cached_lint_paths(
+            paths, rules, cache_path=cache_path,
+            check_stale_noqa=args.flow)
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_PATH
+        count = write_baseline(diagnostics, target)
+        print(f"baseline written: {count} finding(s) -> {target}")
+        return 0
+
+    absorbed = 0
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline or DEFAULT_BASELINE_PATH)
+        if args.baseline or baseline_path.exists():
+            try:
+                baseline = load_baseline(baseline_path)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            diagnostics, absorbed = apply_baseline(diagnostics, baseline)
+
+    if args.sarif:
+        from repro import __version__ as tool_version
+        Path(args.sarif).write_text(
+            render_sarif(diagnostics, tool_version=tool_version),
+            encoding="utf-8")
     if args.json:
-        print(chk.render_json(diagnostics, paths=list(map(str, paths))))
+        print(chk.render_json(diagnostics, paths=list(map(str, paths)),
+                              baseline_absorbed=absorbed))
     else:
+        if absorbed:
+            print(f"({absorbed} accepted finding(s) absorbed by the "
+                  "baseline)")
         print(chk.render_text(diagnostics))
-    return 1 if chk.has_errors(diagnostics) else 0
+    gating = [d for d in diagnostics if d.severity in ("error", "warning")]
+    return 1 if gating else 0
 
 
 def _stats(args) -> int:
@@ -874,11 +920,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_ca.set_defaults(func=_check_artifact)
 
     p_cl = check_sub.add_parser(
-        "lint", help="run the repo's AST lint rules (R1xx)")
+        "lint",
+        help="run the repo's lint rules: per-node R1xx plus the "
+             "flow-sensitive R2xx/R3xx families")
     p_cl.add_argument("paths", nargs="*",
                       help="files or directories (default: src)")
     p_cl.add_argument("--json", action="store_true",
                       help="emit structured JSON instead of text")
+    p_cl.add_argument("--flow", dest="flow", action="store_true",
+                      default=True,
+                      help="run the flow-sensitive R2xx/R3xx rules "
+                           "(default)")
+    p_cl.add_argument("--no-flow", dest="flow", action="store_false",
+                      help="per-node R1xx rules only")
+    p_cl.add_argument("--sarif", metavar="PATH",
+                      help="also write the (post-baseline) findings as a "
+                           "SARIF 2.1.0 report for CI annotations")
+    p_cl.add_argument("--baseline", metavar="PATH",
+                      help="accepted-findings baseline file (default: "
+                           ".repro-lint-baseline.json when present)")
+    p_cl.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring any baseline")
+    p_cl.add_argument("--write-baseline", action="store_true",
+                      help="accept the current findings: (re)write the "
+                           "baseline file and exit 0")
+    p_cl.add_argument("--cache", metavar="PATH",
+                      help="incremental cache file (default: "
+                           ".repro_check_cache.json)")
+    p_cl.add_argument("--no-cache", action="store_true",
+                      help="re-analyze every file from scratch")
     p_cl.set_defaults(func=_check_lint)
 
     p_top = sub.add_parser(

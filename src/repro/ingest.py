@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import mmap
 import os
-from typing import Optional, Tuple, Union
+from typing import IO, Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class InputView:
         offset: int = 0,
         length: Optional[int] = None,
         _mmap: Optional[mmap.mmap] = None,
-        _file=None,
+        _file: Optional[IO[bytes]] = None,
     ) -> None:
         if length is None:
             length = len(buf) - offset
@@ -78,10 +78,11 @@ class InputView:
     def __bytes__(self) -> bytes:
         return bytes(self.view8())
 
-    def __getitem__(self, item):
+    def __getitem__(self, item: Any) -> Any:
         return self.view8()[item]
 
-    def __array__(self, dtype=None, copy=None):
+    def __array__(self, dtype: Any = None, copy: Optional[bool] = None
+                  ) -> np.ndarray:
         arr = self.view8()
         if dtype is not None and np.dtype(dtype) != arr.dtype:
             return arr.astype(dtype)
@@ -153,7 +154,7 @@ class InputView:
     def __enter__(self) -> "InputView":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -171,7 +172,7 @@ def _find(view: np.ndarray, needle: bytes, start: int, end: int) -> int:
     return idx if idx < 0 else idx + start
 
 
-def open_input(path: Union[str, os.PathLike]) -> InputView:
+def open_input(path: Union[str, "os.PathLike[str]"]) -> InputView:
     """Map ``path`` read-only and return a zero-copy :class:`InputView`.
 
     Empty files cannot be mmapped; they degrade to an empty in-memory view
@@ -185,9 +186,16 @@ def open_input(path: Union[str, os.PathLike]) -> InputView:
     try:
         mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
     except (ValueError, OSError):
-        data = f.read()
-        f.close()
+        # degrade to an in-memory copy; the handle must not outlive the
+        # attempt even when the read itself fails
+        try:
+            data = f.read()
+        finally:
+            f.close()
         return InputView(data, path=str(path), offset=0, length=len(data))
+    except BaseException:
+        f.close()
+        raise
     return InputView(
         mapped, path=str(path), offset=0, length=size, _mmap=mapped, _file=f
     )
@@ -198,7 +206,7 @@ def from_bytes(data: Union[bytes, bytearray, memoryview]) -> InputView:
     return InputView(data)
 
 
-def byte_view(symbols) -> Optional[np.ndarray]:
+def byte_view(symbols: object) -> Optional[np.ndarray]:
     """Best-effort zero-copy ``uint8`` view of ``symbols``.
 
     Returns ``None`` when the input is not byte-like (e.g. an ``int64``

@@ -26,7 +26,7 @@ diverged sets the same sorted-unique int64 state array.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -114,13 +114,13 @@ def resolve_backend(
     near-full sets on sub-64-state machines; it stays an explicit choice
     (and the differential-testing model of the AP's one-hot step).
     """
-    if backend in BACKENDS:
+    if backend is not None and backend != "auto":
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; pick one of {BACKENDS + ('auto',)}"
+            )
         _record_decision(backend, backend, "explicit")
         return backend
-    if backend not in (None, "auto"):
-        raise ValueError(
-            f"unknown backend {backend!r}; pick one of {BACKENDS + ('auto',)}"
-        )
     # literal-certified machines skip the frontier between anchor hits
     # regardless of partition shape — the sweep needs nothing to batch
     if certify_prefilter(dfa) is not None:
@@ -171,6 +171,7 @@ def run_segments_batch(
     """
     if backend not in KERNEL_BACKENDS:
         raise ValueError(f"batched execution needs one of {KERNEL_BACKENDS}")
+    pf_tables: Optional[PrefilterTables] = None
     if backend == "prefilter":
         pf_tables = prefilter if prefilter is not None else certify_prefilter(dfa)
         if pf_tables is None:
@@ -191,6 +192,7 @@ def run_segments_batch(
     batch_begin = time.perf_counter()
     labels = partition.labels()
     if backend == "prefilter":
+        assert pf_tables is not None
         grid, stats = run_segments_prefilter(
             dfa, partition, segments, pf_tables, dense=dense, stride=stride
         )
@@ -264,6 +266,7 @@ def run_segments_batch(
             np.repeat(np.arange(n_seg, dtype=np.int64), len(single_ids)),
             np.tile(np.asarray(single_ids, dtype=np.int64), n_seg),
         )
+    flows: Union[BitsetSetFlows, FlatSetFlows]
     if backend == "bitset":
         flows = BitsetSetFlows(
             tables or BitsetTables(dfa), multi_blocks, multi_ids, n_seg

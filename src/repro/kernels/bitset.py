@@ -61,7 +61,7 @@ class BitsetTables:
     vectorizes over targets *and* over a batch of flows at once.
     """
 
-    def __init__(self, dfa: Dfa):
+    def __init__(self, dfa: Dfa) -> None:
         n = dfa.num_states
         alphabet = dfa.alphabet_size
         self.num_states = n
@@ -119,7 +119,7 @@ class BitsetSetFlows:
         multi_blocks: List[np.ndarray],
         multi_ids: np.ndarray,
         n_segments: int,
-    ):
+    ) -> None:
         self.tables = tables
         n_multi = len(multi_blocks)
         if n_multi:
@@ -168,7 +168,7 @@ class BitsetSetFlows:
             hit = idx[sizes == 1]
         if not hit.size:
             return []
-        collapsed = []
+        collapsed: List[Tuple[int, int, int]] = []
         for f in hit.tolist():
             state = int(self.tables.states_from_mask(self.masks[f])[0])
             collapsed.append((state, int(self.flow_seg[f]), int(self.flow_block[f])))
@@ -181,7 +181,7 @@ class BitsetSetFlows:
 
     def final_outcomes(self) -> List[Tuple[np.ndarray, int, int]]:
         """Remaining diverged flows as ``(states, segment, block)`` triples."""
-        out = []
+        out: List[Tuple[np.ndarray, int, int]] = []
         for f in range(self.n_flows):
             states = self.tables.states_from_mask(self.masks[f])
             out.append((states, int(self.flow_seg[f]), int(self.flow_block[f])))

@@ -34,7 +34,7 @@ lockstep/bitset kernels; ``benchmarks/bench_dense.py`` gates the speedup
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,7 +50,7 @@ STRIDE_MIN = 8
 STRIDE_MAX = 512
 
 
-def dense_state_dtype(num_states: int) -> np.dtype:
+def dense_state_dtype(num_states: int) -> np.dtype[Any]:
     """Narrowest unsigned dtype that can hold every state id.
 
     uint8 up to 256 states, uint16 up to 65536; beyond that the kernel
@@ -75,7 +75,7 @@ class DenseTables:
     re-derive it.
     """
 
-    def __init__(self, dfa: Dfa):
+    def __init__(self, dfa: Dfa) -> None:
         n = dfa.num_states
         self.num_states = n
         self.dtype = dense_state_dtype(n)
@@ -87,7 +87,10 @@ class DenseTables:
         return int(self.table.nbytes) + int(self.offsets.nbytes)
 
 
-def _compact(act, frontier, keep, cs_starts):
+def _compact(
+    act: np.ndarray, frontier: np.ndarray, keep: np.ndarray,
+    cs_starts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Drop dense rows; rebuild the step buffers and reduceat starts."""
     act = act[keep]
     frontier = np.ascontiguousarray(frontier[keep], dtype=frontier.dtype)
@@ -172,7 +175,7 @@ def run_segments_dense(
     n_degraded = 0
     dense_positions = 0
 
-    rows: Optional[list] = None
+    rows: Optional[List[List[int]]] = None
     for t in range(max_len):
         if act.size == 0:
             # every remaining segment is one scalar path: the per-position

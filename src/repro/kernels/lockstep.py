@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = ["ScalarPool", "FlatSetFlows"]
 
@@ -36,13 +37,14 @@ class ScalarPool:
     One :meth:`step` call advances the whole pool with one gather.
     """
 
-    def __init__(self, flat_table: np.ndarray):
+    def __init__(self, flat_table: np.ndarray) -> None:
         self.flat = flat_table
         self.states = np.empty(0, dtype=np.int64)
         self.seg = np.empty(0, dtype=np.int64)
         self.block = np.empty(0, dtype=np.int64)
 
-    def extend(self, states, seg, block) -> None:
+    def extend(self, states: ArrayLike, seg: ArrayLike,
+               block: ArrayLike) -> None:
         self.states = np.concatenate(
             [self.states, np.asarray(states, dtype=np.int64)]
         )
@@ -90,7 +92,7 @@ class FlatSetFlows:
         multi_blocks: List[np.ndarray],
         multi_ids: np.ndarray,
         n_segments: int,
-    ):
+    ) -> None:
         self.flat = flat_table
         n_multi = len(multi_blocks)
         sizes = np.asarray([b.size for b in multi_blocks], dtype=np.int64)
@@ -170,9 +172,9 @@ class FlatSetFlows:
 
     def final_outcomes(self) -> List[Tuple[np.ndarray, int, int]]:
         """Remaining diverged flows as ``(states, segment, block)`` triples."""
-        out = []
+        out: List[Tuple[np.ndarray, int, int]] = []
         ends = np.concatenate([self.starts[1:], [self.members.size]]) \
-            if self.n_flows else []
+            if self.n_flows else np.empty(0, dtype=np.int64)
         for f in range(self.n_flows):
             states = np.unique(self.members[self.starts[f]:ends[f]])
             out.append((states, int(self.flow_seg[f]), int(self.flow_block[f])))

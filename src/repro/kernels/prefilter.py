@@ -49,13 +49,16 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.automata.dfa import Dfa
 from repro.core.partition import StatePartition
 from repro.core.transition import CsOutcome
+
+if TYPE_CHECKING:
+    from repro.kernels.dense import DenseTables
 
 __all__ = [
     "MAX_ANCHOR_FRACTION",
@@ -77,7 +80,8 @@ MAX_ANCHOR_FRACTION = 0.5
 #: failure — failed certification must stay O(1) on re-scan so an explicit
 #: ``backend="prefilter"`` fallback costs nothing measurable)
 _CERT_CACHE_MAX = 128
-_CERT_CACHE: "OrderedDict[Tuple, Optional[PrefilterTables]]" = OrderedDict()
+_CERT_CACHE: "OrderedDict[Tuple[object, ...], Optional[PrefilterTables]]" = \
+    OrderedDict()
 
 
 class PrefilterTables:
@@ -99,7 +103,7 @@ class PrefilterTables:
         anchor_lut: np.ndarray,
         num_states: int,
         alphabet_size: int,
-    ):
+    ) -> None:
         self.home = int(home)
         self.skip_width = int(skip_width)
         self.anchor_lut = np.asarray(anchor_lut, dtype=bool)
@@ -222,7 +226,9 @@ def derive_prefilter(dfa: Dfa) -> Optional[PrefilterTables]:
     # anchors: exactly the bytes that move home (fact 1 by construction)
     anchor = table[:, home] != home
     max_anchors = int(k * MAX_ANCHOR_FRACTION)
-    depth = finite = None
+    # overwritten on the first pass; typed placeholders keep the for/else
+    depth = np.empty(0, dtype=np.int64)
+    finite = np.empty(0, dtype=bool)
     for _ in range(k):
         if int(anchor.sum()) > max_anchors:
             return None
@@ -289,7 +295,7 @@ def prefilter_scan_scalar(
     tables: PrefilterTables,
     segment: np.ndarray,
     start_state: Optional[int] = None,
-    rows: Optional[list] = None,
+    rows: Optional[List[List[int]]] = None,
 ) -> Tuple[int, int]:
     """Concrete-flow prefilter scan (segment 0 / sequential fallback).
 
@@ -324,7 +330,7 @@ def run_segments_prefilter(
     partition: StatePartition,
     segments: Sequence[np.ndarray],
     tables: PrefilterTables,
-    dense=None,
+    dense: Optional[DenseTables] = None,
     stride: Optional[int] = None,
 ) -> Tuple[List[List[CsOutcome]], Dict[str, int]]:
     """Enumerative prefilter scan over a batch of segments.
@@ -353,7 +359,7 @@ def run_segments_prefilter(
     lut = tables.anchor_lut
     sw = tables.skip_width
     home = tables.home
-    rows: Optional[list] = None
+    rows: Optional[List[List[int]]] = None
 
     grid: List[Optional[List[CsOutcome]]] = [None] * n_seg
     fallback_idx: List[int] = []

@@ -264,14 +264,14 @@ def _share_symbols(syms: np.ndarray):
         view = np.frombuffer(shm.buf, dtype=syms.dtype, count=syms.size)
         view[:] = syms
         del view
+        obs.counter("software_shm_scans_total").inc()
+        obs.counter("software_shm_bytes_total").inc(int(syms.nbytes))
     except BaseException:
         # the segment exists but was never handed out: close and unlink
         # here or it outlives the scan as a stray /dev/shm file
         shm.close()
         shm.unlink()
         raise
-    obs.counter("software_shm_scans_total").inc()
-    obs.counter("software_shm_bytes_total").inc(int(syms.nbytes))
     return shm
 
 
@@ -360,7 +360,13 @@ def _attach_worker_mmap(path: str):
                 pass
         _WORKER_MMAP = None
     f = open(path, "rb")
-    mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        mapped = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    except BaseException:
+        # the map failing (file truncated to empty between dispatch and
+        # attach) must not strand the descriptor in the worker
+        f.close()
+        raise
     _WORKER_MMAP = (path, mapped, f)
     return mapped
 

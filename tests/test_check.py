@@ -378,6 +378,61 @@ def test_envelope_dense_dtype_mismatch_is_k111(compiled, tmp_path):
     assert "K111" in error_codes(verify_artifact_file(path))
 
 
+def test_version_skew_names_missing_fields_and_gates_their_checks(
+        compiled, tmp_path):
+    path = save_artifact(compiled, tmp_path)
+    original = path.read_bytes()
+
+    # a v2 envelope predates the prefilter field: the skew diagnostic
+    # must say exactly that (with the remedy), and K133 must not fire
+    # against a field the format never carried
+    payload = pickle.loads(original)
+    payload["format_version"] = 2
+    del payload["prefilter"]
+    path.write_bytes(pickle.dumps(payload))
+    diags = verify_artifact_file(path)
+    codes = error_codes(diags)
+    assert "K109" in codes
+    assert "K133" not in codes
+    k109 = next(d for d in diags if d.code == "K109")
+    assert "prefilter" in k109.message
+    assert "recompile" in k109.message
+    assert "dense_dtype" not in k109.message
+
+    # ...but the field v2 *does* carry is still cross-checked
+    payload["dense_dtype"] = "uint16"
+    path.write_bytes(pickle.dumps(payload))
+    assert "K111" in error_codes(verify_artifact_file(path))
+
+    # a v1 envelope predates both fields: named in the skew message,
+    # neither envelope cross-check fires
+    payload = pickle.loads(original)
+    payload["format_version"] = 1
+    del payload["dense_dtype"]
+    del payload["prefilter"]
+    path.write_bytes(pickle.dumps(payload))
+    diags = verify_artifact_file(path)
+    codes = error_codes(diags)
+    assert "K109" in codes
+    assert codes.isdisjoint({"K111", "K133"})
+    k109 = next(d for d in diags if d.code == "K109")
+    assert "dense_dtype" in k109.message and "prefilter" in k109.message
+
+    # an unknown version gets the generic message and the full battery
+    # (a missing dense_dtype is not excused for a version this build
+    # has never heard of)
+    payload = pickle.loads(original)
+    payload["format_version"] = 99
+    del payload["dense_dtype"]
+    path.write_bytes(pickle.dumps(payload))
+    diags = verify_artifact_file(path)
+    codes = error_codes(diags)
+    assert "K109" in codes
+    k109 = next(d for d in diags if d.code == "K109")
+    assert "recompile" not in k109.message
+    assert "K111" in codes
+
+
 # ----------------------------------------------------------------------
 # CLI, docs and the shipped tree
 # ----------------------------------------------------------------------
