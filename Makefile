@@ -2,12 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-kernels bench-dense bench-cache \
-        bench-fleet bench-prefilter check check-flow check-overhead report \
-        examples clean golden
+.PHONY: install native test test-fast bench bench-kernels bench-dense \
+        bench-cache bench-fleet bench-native bench-prefilter check \
+        check-flow check-overhead report examples clean golden
 
 install:
 	$(PYTHON) setup.py develop
+
+# compile the optional native set-flow library into the per-user cache
+# (requires cc/gcc/clang; everything degrades to the dense kernel
+# without it, so this target failing is informative, not fatal)
+native:
+	PYTHONPATH=src $(PYTHON) -m repro.kernels.native --rebuild
 
 # static soundness gates (repro check, both pillars): artifact
 # verification + exact convergence certification on a paper-suite
@@ -55,6 +61,11 @@ bench-fleet:
 # >=3x acceptance gate and the <=1.05x fallback gate
 bench-prefilter:
 	$(PYTHON) benchmarks/bench_prefilter.py --smoke
+
+# compiled native tier vs the dense kernel; smoke mode skips the >=3x
+# acceptance gate and tolerates a toolchain-less host
+bench-native:
+	$(PYTHON) benchmarks/bench_native.py --smoke
 
 # instrumented vs no-op scan on the bench smoke config; fails above 10%
 check-overhead:

@@ -3,7 +3,10 @@
 Benchmark numbers without the machine behind them are unreproducible;
 every benchmark writer stamps its JSON artifact with :func:`env_info` so
 a reader can tell a laptop-core figure from a CI-runner figure without
-digging through workflow logs.
+digging through workflow logs.  Since the compiled native tier landed,
+that includes compiled-tier provenance: whether the native library was
+loadable, which compiler built it, and the host's SIMD capabilities —
+a native-on figure and a native-off figure are different experiments.
 
 Dependency-free by design (stdlib + numpy, both already required).
 """
@@ -13,7 +16,38 @@ from __future__ import annotations
 import os
 import platform
 import sys
-from typing import Dict
+from typing import Dict, List
+
+#: ISA extensions worth distinguishing in perf trajectories; everything
+#: else in /proc/cpuinfo's flag soup is noise for a table-walk workload
+_SIMD_FLAGS = (
+    "sse2", "sse4_1", "sse4_2", "avx", "avx2", "avx512f", "avx512bw",
+    "bmi2", "neon", "asimd", "sve",
+)
+
+
+def simd_flags() -> List[str]:
+    """Host SIMD/ISA extensions, best-effort (empty off Linux)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError:
+        return []
+    seen = set()
+    for line in text.splitlines():
+        key, _, value = line.partition(":")
+        if key.strip().lower() in ("flags", "features"):
+            seen.update(value.split())
+    return [flag for flag in _SIMD_FLAGS if flag in seen]
+
+
+def native_info() -> Dict:
+    """Compiled-tier provenance (present/absent, compiler, library)."""
+    try:
+        from repro.kernels.native import native_build_info
+    except Exception as exc:  # pragma: no cover - broken checkout only
+        return {"available": False, "reason": f"import failed: {exc}"}
+    return native_build_info()
 
 
 def env_info() -> Dict:
@@ -27,6 +61,8 @@ def env_info() -> Dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "simd_flags": simd_flags(),
+        "native": native_info(),
     }
 
 

@@ -35,6 +35,7 @@ from repro.check.artifact import (
     verify_artifact_file,
     verify_compiled,
     verify_dfa,
+    verify_native,
     verify_partition,
     verify_prefilter,
     verify_shard,
@@ -77,6 +78,7 @@ __all__ = [
     "verify_partition",
     "verify_compiled",
     "verify_artifact_file",
+    "verify_native",
     "verify_prefilter",
     "verify_shard",
     "CONVERGENT",

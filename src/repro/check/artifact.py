@@ -37,6 +37,7 @@ __all__ = [
     "verify_dfa",
     "verify_partition",
     "verify_compiled",
+    "verify_native",
     "verify_prefilter",
     "verify_artifact_file",
     "verify_shard",
@@ -74,6 +75,8 @@ K109 = register_code("K109", "artifact file format version mismatch")
 K110 = register_code("K110", "artifact file envelope is malformed")
 K111 = register_code("K111", "dense kernel table disagrees with the transition table")
 K112 = register_code("K112", "dense column offsets do not re-derive")
+K114 = register_code("K114", "native table view disagrees with the dense tables")
+K115 = register_code("K115", "native single-step replay disagrees with the transition table")
 K120 = register_code("K120", "shard key does not re-derive from member fingerprints")
 K121 = register_code("K121", "shard demux map is malformed or misses members")
 K122 = register_code("K122", "shard demux disagrees with member transitions")
@@ -355,6 +358,12 @@ def verify_compiled(compiled: "object", deep: bool = True,
                 "wrong table columns)",
                 f"{location}.dense.offsets"))
 
+    # native tier: the compiled library must read the exact table bytes
+    # the Python tier built (absence of the library is not a defect —
+    # the system degrades to dense — so an unavailable tier adds nothing)
+    out.extend(verify_native(dfa, dense=dense, deep=deep,
+                             location=f"{location}.native"))
+
     # prefilter certificate: home invariance, skip-width soundness,
     # anchor soundness, and full re-derivation
     pf = getattr(compiled, "_prefilter", None)
@@ -408,7 +417,11 @@ def verify_compiled(compiled: "object", deep: bool = True,
             f"backend fields requested={requested!r} resolved={resolved!r} "
             f"are not drawn from {BACKENDS}",
             f"{location}.backend"))
-    elif requested != "auto" and resolved != requested:
+    elif requested != "auto" and resolved != requested and not (
+            requested == "native" and resolved == "dense"):
+        # native -> dense is the documented degradation when no compiled
+        # library is loadable at compile time; every other divergence
+        # from an explicit request is a contradiction
         out.append(_err(
             K106,
             f"resolved backend {resolved!r} contradicts the explicit "
@@ -428,6 +441,85 @@ def verify_compiled(compiled: "object", deep: bool = True,
             "stored cache key does not re-derive from the artifact's "
             "fingerprint and compile parameters",
             f"{location}.key"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# native tier certification
+# ----------------------------------------------------------------------
+def verify_native(dfa: "object", dense: "object" = None, deep: bool = True,
+                  location: str = "native") -> List[Diagnostic]:
+    """Certify the compiled native tier against the Python-built tables.
+
+    K114 proves the bytes: the library's widened table view
+    (:func:`repro.kernels.native.native_table_view`) must be bit-identical
+    to the dense tables and to the int64 transition matrix.  K115 proves
+    the stepping: replaying every symbol as a one-position segment over
+    the discrete partition must land each start state exactly where the
+    transition table says (``deep=False`` skips the replay; very large
+    tables cap it).  An unavailable native tier yields no diagnostics —
+    degradation to dense is the documented contract, not a defect.
+    """
+    from repro.kernels import DenseTables
+    from repro.kernels.native import (
+        native_available,
+        native_table_view,
+        run_segments_native,
+    )
+
+    out: List[Diagnostic] = []
+    if not native_available():
+        return out
+    table = getattr(dfa, "transitions", None)
+    if not isinstance(table, np.ndarray):
+        return out
+    tables = dense if dense is not None else DenseTables(dfa)  # type: ignore[arg-type]
+    expect_flat = table.astype(np.int64).ravel()
+    try:
+        view = native_table_view(tables)  # type: ignore[arg-type]
+    except (RuntimeError, ValueError) as exc:
+        out.append(_err(
+            K114,
+            f"native table view could not be produced ({exc}); the "
+            "compiled library cannot prove it reads the dense tables",
+            f"{location}.table"))
+        return out
+    dense_table = getattr(tables, "table", None)
+    if view.shape != expect_flat.shape \
+            or not bool(np.array_equal(view, expect_flat)) \
+            or not isinstance(dense_table, np.ndarray) \
+            or not bool(np.array_equal(
+                view, dense_table.astype(np.int64).ravel())):
+        out.append(_err(
+            K114,
+            "native table view is not bit-identical to the dense tables "
+            "(the compiled gather would follow different transitions)",
+            f"{location}.table"))
+        return out
+    if not deep or table.size > 1_000_000:
+        return out
+    # single-step replay: every symbol as a 1-position segment over the
+    # discrete partition must reproduce the transition table column
+    from repro.core.partition import StatePartition
+
+    n_states = int(table.shape[1])
+    probe = [np.asarray([c], dtype=np.int64) for c in range(table.shape[0])]
+    grid, _stats = run_segments_native(
+        dfa, StatePartition.discrete(n_states), probe,  # type: ignore[arg-type]
+        tables=tables,  # type: ignore[arg-type]
+    )
+    for c, outcomes in enumerate(grid):
+        for q, outcome in enumerate(outcomes):
+            want = int(table[c, q])
+            got = outcome.state if outcome.converged else None
+            if got != want:
+                out.append(_err(
+                    K115,
+                    f"native replay of symbol {c} from state {q} reached "
+                    f"{got!r}, transition table says {want} (compiled "
+                    "stepping disagrees with the Python tier)",
+                    f"{location}.step[{c},{q}]"))
+                return out
     return out
 
 

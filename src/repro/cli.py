@@ -808,7 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("input", help="binary input file")
     p_sw.add_argument("--backend", default="auto",
                       choices=["auto", "python", "lockstep", "bitset", "dense",
-                               "prefilter"])
+                               "native", "prefilter"])
     p_sw.add_argument("--segments", type=int, default=16)
     p_sw.add_argument("--processes", type=int, default=0,
                       help="run segments on a process pool of this size")
@@ -853,7 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--segments", type=int, default=8)
     p_fleet.add_argument("--backend", default="auto",
                          choices=["auto", "python", "lockstep", "bitset",
-                                  "dense", "prefilter"])
+                                  "dense", "native", "prefilter"])
     p_fleet.add_argument("--no-shard", action="store_true",
                          help="run the per-machine loop instead of product "
                               "shards")
@@ -901,7 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ca.add_argument("--segments", type=int, default=16)
     p_ca.add_argument("--backend", default="auto",
                       choices=["auto", "python", "lockstep", "bitset", "dense",
-                               "prefilter"])
+                               "native", "prefilter"])
     p_ca.add_argument("--cutoff", type=float, default=0.99)
     p_ca.add_argument("--inputs", type=int, default=300)
     p_ca.add_argument("--length", type=int, default=200)

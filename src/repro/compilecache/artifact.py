@@ -196,7 +196,9 @@ def compile_dfa(
     )
     if resolved == "bitset":
         compiled.bitset_tables()
-    elif resolved == "dense":
+    elif resolved in ("dense", "native"):
+        # the native tier reads the dense tables as-is: one artifact
+        # serves both, and a toolchain-less load still scans with dense
         compiled.dense_tables()
     elif resolved == "prefilter":
         compiled.prefilter_tables()

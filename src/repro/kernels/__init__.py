@@ -13,6 +13,10 @@ kernels pay it per *symbol position of the whole scan*:
 - :mod:`repro.kernels.dense` — the dense-frontier kernel: all N states of
   every segment advance with exactly one flat gather per symbol position
   (dtype-narrowed table, strided collapse checks); the small-N fast path.
+- :mod:`repro.kernels.native` — the compiled set-flow tier: the dense
+  kernel's whole frontier advanced over the whole symbol buffer in one C
+  call (ctypes-loaded, zero runtime deps); strictly optional — every
+  caller degrades to dense when no toolchain or prebuilt library exists.
 - :mod:`repro.kernels.prefilter` — the literal-prefilter fast path:
   compile-time anchor/skip-width certification plus a scan kernel that
   sweeps for anchor bytes vectorized and walks only the tail after the
@@ -31,6 +35,15 @@ from repro.kernels.batch import (
 )
 from repro.kernels.bitset import BitsetTables
 from repro.kernels.dense import DenseTables, dense_state_dtype
+from repro.kernels.native import (
+    NativeBuildError,
+    build_native,
+    native_available,
+    native_build_info,
+    native_table_view,
+    native_unavailable_reason,
+    run_segments_native,
+)
 from repro.kernels.prefilter import (
     PrefilterTables,
     certify_prefilter,
@@ -44,11 +57,18 @@ __all__ = [
     "KERNEL_BACKENDS",
     "BitsetTables",
     "DenseTables",
+    "NativeBuildError",
     "PrefilterTables",
+    "build_native",
     "certify_prefilter",
     "dense_state_dtype",
     "derive_prefilter",
+    "native_available",
+    "native_build_info",
+    "native_table_view",
+    "native_unavailable_reason",
     "prefilter_scan_scalar",
     "resolve_backend",
     "run_segments_batch",
+    "run_segments_native",
 ]

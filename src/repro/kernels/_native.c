@@ -1,0 +1,206 @@
+/* Native set-flow tier: the dense-frontier kernel as one compiled call.
+ *
+ * The dense kernel (dense.py) already reduced a symbol position to one
+ * offset-add + one flat gather, but each position still pays a Python
+ * dispatch and full-generality numpy machinery.  This library advances a
+ * whole segment's enumeration frontier over its entire symbol buffer in
+ * one C loop: per position a fused offset-add + gather at the narrowed
+ * table dtype, a strided collapse check every K positions (adaptive K,
+ * same STRIDE_MIN/STRIDE_MAX ladder as dense.py — correctness is
+ * stride-independent because the outcomes are derived from the final
+ * frontier), and when the *whole* frontier collapses to one state the
+ * segment degrades to a single scalar table walk for its remaining tail.
+ *
+ * Deliberately plain C with a flat pointer ABI: no Python.h, no numpy
+ * headers.  The Python side (native.py) loads it through ctypes, passes
+ * preallocated numpy buffers, and reuses dense.py's epilogue verbatim so
+ * outcomes stay bit-identical to every other backend.
+ */
+
+#include <stdint.h>
+
+/* bump when the entry-point signatures change; native.py refuses to use
+ * a library whose cse_native_abi() disagrees */
+#define CSE_NATIVE_ABI 1
+
+/* same adaptive collapse-check ladder as dense.py */
+#define NATIVE_STRIDE_MIN 8
+#define NATIVE_STRIDE_MAX 512
+
+/* table element kinds (must match _TABLE_KINDS in native.py) */
+#define KIND_U8 0
+#define KIND_U16 1
+#define KIND_I64 2
+
+/* stats_out slot layout (must match _STAT_* in native.py) */
+#define STAT_NATIVE_POSITIONS 0
+#define STAT_STRIDE_CHECKS 1
+#define STAT_DEGRADED 2
+#define STAT_SCALAR_POSITIONS 3
+#define STAT_SLOTS 4
+
+int64_t cse_native_abi(void) { return CSE_NATIVE_ABI; }
+
+/* advance every frontier lane through symbol column `col` */
+static void
+advance(const void *table, int64_t kind, int64_t col_off,
+        int64_t *frontier, int64_t width)
+{
+    int64_t j;
+    if (kind == KIND_U8) {
+        const uint8_t *col = (const uint8_t *)table + col_off;
+        for (j = 0; j < width; j++)
+            frontier[j] = (int64_t)col[frontier[j]];
+    } else if (kind == KIND_U16) {
+        const uint16_t *col = (const uint16_t *)table + col_off;
+        for (j = 0; j < width; j++)
+            frontier[j] = (int64_t)col[frontier[j]];
+    } else {
+        const int64_t *col = (const int64_t *)table + col_off;
+        for (j = 0; j < width; j++)
+            frontier[j] = col[frontier[j]];
+    }
+}
+
+/* walk one scalar flow over syms[from:len] (a collapsed segment's tail) */
+static int64_t
+walk_scalar(const void *table, int64_t kind, int64_t n_states,
+            const int64_t *syms, int64_t from, int64_t len, int64_t state)
+{
+    int64_t t;
+    if (kind == KIND_U8) {
+        const uint8_t *tab = (const uint8_t *)table;
+        for (t = from; t < len; t++)
+            state = (int64_t)tab[syms[t] * n_states + state];
+    } else if (kind == KIND_U16) {
+        const uint16_t *tab = (const uint16_t *)table;
+        for (t = from; t < len; t++)
+            state = (int64_t)tab[syms[t] * n_states + state];
+    } else {
+        const int64_t *tab = (const int64_t *)table;
+        for (t = from; t < len; t++)
+            state = tab[syms[t] * n_states + state];
+    }
+    return state;
+}
+
+/* Run every segment's full dense frontier.
+ *
+ * table        raveled (alphabet x n_states) transition table, dtype per kind
+ * kind         KIND_U8 / KIND_U16 / KIND_I64
+ * syms         all segments' symbols concatenated, int64, validated in-range
+ * seg_starts   n_seg+1 prefix offsets into syms
+ * init         frontier start states (CS blocks concatenated), width lanes
+ * cs_starts    per-CS lane offset into the frontier, n_blocks entries
+ * cs_sizes     per-CS lane count, n_blocks entries
+ * stride       pinned collapse-check gap, or <=0 for adaptive
+ * final_out    (n_seg x width) int64 final frontiers (rows of segments
+ *              that did not fully collapse)
+ * collapsed_out  per segment: final scalar state if the whole frontier
+ *              collapsed, else -1
+ * stats_out    STAT_SLOTS int64 counters
+ * frontier_scratch  width int64 working lanes
+ * seen_scratch n_blocks bytes (per-segment fresh-collapse memory)
+ *
+ * Returns 0, or -1 on an unknown table kind.
+ */
+int64_t
+cse_native_scan(const void *table, int64_t kind, int64_t n_states,
+                const int64_t *syms, const int64_t *seg_starts, int64_t n_seg,
+                const int64_t *init, int64_t width,
+                const int64_t *cs_starts, const int64_t *cs_sizes,
+                int64_t n_blocks, int64_t stride,
+                int64_t *final_out, int64_t *collapsed_out, int64_t *stats_out,
+                int64_t *frontier_scratch, uint8_t *seen_scratch)
+{
+    int64_t s, i;
+    if (kind != KIND_U8 && kind != KIND_U16 && kind != KIND_I64)
+        return -1;
+    for (i = 0; i < STAT_SLOTS; i++)
+        stats_out[i] = 0;
+    for (s = 0; s < n_seg; s++) {
+        const int64_t *seg = syms + seg_starts[s];
+        const int64_t len = seg_starts[s + 1] - seg_starts[s];
+        int64_t *fr = frontier_scratch;
+        int64_t k = stride > 0 ? stride : NATIVE_STRIDE_MIN;
+        int64_t next_check = k;
+        int64_t scalar = -1;
+        int64_t t, b, j;
+        for (j = 0; j < width; j++)
+            fr[j] = init[j];
+        for (b = 0; b < n_blocks; b++)
+            seen_scratch[b] = 0;
+        for (t = 0; t < len; t++) {
+            advance(table, kind, seg[t] * n_states, fr, width);
+            stats_out[STAT_NATIVE_POSITIONS]++;
+            if (width > 0 && t + 1 >= next_check) {
+                int64_t gmin = fr[0], gmax = fr[0];
+                int fresh = 0;
+                stats_out[STAT_STRIDE_CHECKS]++;
+                for (b = 0; b < n_blocks; b++) {
+                    const int64_t lo = cs_starts[b];
+                    const int64_t hi = lo + cs_sizes[b];
+                    int64_t mn = fr[lo], mx = fr[lo];
+                    for (j = lo + 1; j < hi; j++) {
+                        const int64_t v = fr[j];
+                        if (v < mn) mn = v;
+                        if (v > mx) mx = v;
+                    }
+                    if (mn == mx && !seen_scratch[b]) {
+                        seen_scratch[b] = 1;
+                        fresh = 1;
+                    }
+                    if (mn < gmin) gmin = mn;
+                    if (mx > gmax) gmax = mx;
+                }
+                if (gmin == gmax) {
+                    /* whole frontier is one state: every enumeration
+                     * path is the same path — finish as one scalar flow */
+                    stats_out[STAT_DEGRADED]++;
+                    stats_out[STAT_SCALAR_POSITIONS] += len - (t + 1);
+                    scalar = walk_scalar(table, kind, n_states,
+                                         seg, t + 1, len, gmin);
+                    break;
+                }
+                if (stride <= 0)
+                    k = fresh ? NATIVE_STRIDE_MIN
+                              : (k * 2 > NATIVE_STRIDE_MAX
+                                     ? NATIVE_STRIDE_MAX : k * 2);
+                next_check = t + 1 + k;
+            }
+        }
+        collapsed_out[s] = scalar;
+        if (scalar < 0) {
+            int64_t *dst = final_out + s * width;
+            for (j = 0; j < width; j++)
+                dst[j] = fr[j];
+        }
+    }
+    return 0;
+}
+
+/* Widen the first n_cells table entries to int64 — the certification
+ * window repro check's K114 compares against the dense tables, proving
+ * the compiled library reads the exact bytes the Python tier built. */
+int64_t
+cse_native_table_view(const void *table, int64_t kind, int64_t n_cells,
+                      int64_t *out)
+{
+    int64_t i;
+    if (kind == KIND_U8) {
+        const uint8_t *tab = (const uint8_t *)table;
+        for (i = 0; i < n_cells; i++)
+            out[i] = (int64_t)tab[i];
+    } else if (kind == KIND_U16) {
+        const uint16_t *tab = (const uint16_t *)table;
+        for (i = 0; i < n_cells; i++)
+            out[i] = (int64_t)tab[i];
+    } else if (kind == KIND_I64) {
+        const int64_t *tab = (const int64_t *)table;
+        for (i = 0; i < n_cells; i++)
+            out[i] = tab[i];
+    } else {
+        return -1;
+    }
+    return 0;
+}

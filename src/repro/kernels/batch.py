@@ -38,6 +38,7 @@ from repro.engines.base import stack_segments
 from repro.kernels.bitset import BitsetSetFlows, BitsetTables
 from repro.kernels.dense import DenseTables, run_segments_dense
 from repro.kernels.lockstep import FlatSetFlows, ScalarPool
+from repro.kernels.native import native_available, run_segments_native
 from repro.kernels.prefilter import (
     PrefilterTables,
     certify_prefilter,
@@ -53,9 +54,9 @@ __all__ = [
 ]
 
 #: every executable backend of the software CSE path
-BACKENDS = ("python", "lockstep", "bitset", "dense", "prefilter")
+BACKENDS = ("python", "lockstep", "bitset", "dense", "native", "prefilter")
 #: the vectorized kernels (everything but the interpreted reference path)
-KERNEL_BACKENDS = ("lockstep", "bitset", "dense", "prefilter")
+KERNEL_BACKENDS = ("lockstep", "bitset", "dense", "native", "prefilter")
 #: measured crossover: below this the dense frontier's one-gather step
 #: beats sparse lockstep; above it the N-wide gather outgrows the cache
 #: and the sparse member arrays win (benchmarks/bench_dense.py)
@@ -108,7 +109,12 @@ def resolve_backend(
     (``n_blocks * segments``) or wide convergence sets.  Among the
     kernels, the dense frontier's one-gather step wins up to
     :data:`DENSE_MAX_STATES` states; above that the ``n_segments x N``
-    gather outgrows the cache and sparse lockstep takes over.
+    gather outgrows the cache and sparse lockstep takes over.  When the
+    compiled native library loads (:mod:`repro.kernels.native`), the
+    dense-profile pick upgrades to ``"native"`` — same tables, same
+    outcomes, the per-position dispatch compiled away; without a
+    toolchain the pick (and any explicit ``"native"`` request) degrades
+    to ``"dense"``, recorded as ``native-unavailable``.
     ``"bitset"`` is never auto-picked: in this NumPy realization its
     O(N/64)-word step is dominated by the flat gather except for
     near-full sets on sub-64-state machines; it stays an explicit choice
@@ -119,6 +125,12 @@ def resolve_backend(
             raise ValueError(
                 f"unknown backend {backend!r}; pick one of {BACKENDS + ('auto',)}"
             )
+        if backend == "native" and not native_available():
+            # the compiled tier is strictly optional: an explicit request
+            # on a toolchain-less install degrades to the dense kernel
+            # (bit-identical outcomes) instead of erroring
+            _record_decision(backend, "dense", "native-unavailable")
+            return "dense"
         _record_decision(backend, backend, "explicit")
         return backend
     # literal-certified machines skip the frontier between anchor hits
@@ -137,7 +149,12 @@ def resolve_backend(
         reason = "trivial-partition"
     elif max_block > 8 or n_blocks * enum_segments >= 48:
         if dfa.num_states <= DENSE_MAX_STATES:
-            chosen, reason = "dense", "dense-fit"
+            # dense-profile machines take the compiled tier when the
+            # library loads; same table, same outcomes, no numpy dispatch
+            if native_available():
+                chosen, reason = "native", "native-fit"
+            else:
+                chosen, reason = "dense", "dense-fit"
         else:
             chosen, reason = "lockstep", "dense-over-budget"
     _record_decision("auto", chosen, reason)
@@ -162,7 +179,8 @@ def run_segments_batch(
     segment.  ``tables`` optionally reuses precomputed
     :class:`BitsetTables`, ``flat`` an int64-raveled transition matrix and
     ``dense`` precomputed :class:`DenseTables` across calls (streaming, or
-    a cached :class:`repro.compilecache.CompiledDfa` artifact).
+    a cached :class:`repro.compilecache.CompiledDfa` artifact; the native
+    tier consumes the same dense tables — no separate artifact format).
     ``stride`` pins the dense kernel's collapse-check gap (tests; the
     default adapts).  ``prefilter`` reuses a precomputed certificate for
     ``backend="prefilter"``; when the DFA is not literal-certifiable the
@@ -176,7 +194,12 @@ def run_segments_batch(
         pf_tables = prefilter if prefilter is not None else certify_prefilter(dfa)
         if pf_tables is None:
             obs.counter("kernels_prefilter_fallbacks_total").inc()
-            backend = "dense"
+            backend = "native" if native_available() else "dense"
+    if backend == "native" and not native_available():
+        # explicit call on a toolchain-less install: outcomes must not
+        # depend on the optional compiled tier
+        obs.counter("kernels_native_fallbacks_total").inc()
+        backend = "dense"
     if backend == "prefilter":
         # keep the incoming dtype: uint8 mmap views flow into the anchor
         # sweep zero-copy, no int64 widening of the skipped bytes
@@ -219,6 +242,32 @@ def run_segments_batch(
                 stats["walked_positions"])
             obs.counter("kernels_prefilter_fallback_segments_total").inc(
                 stats["fallback_segments"])
+        return [SegmentFunction(list(outcomes), labels) for outcomes in grid]
+    if backend == "native":
+        grid, stats = run_segments_native(
+            dfa, partition, segments, tables=dense, stride=stride
+        )
+        if obs.is_enabled():
+            batch_elapsed = time.perf_counter() - batch_begin
+            obs.record_span("kernels.batch", batch_wall, batch_elapsed,
+                            backend=backend, segments=n_seg)
+            obs.histogram("kernels_batch_seconds",
+                          buckets=BATCH_SECONDS_BUCKETS,
+                          backend=backend).observe(batch_elapsed)
+            obs.counter("kernels_batch_runs_total", backend=backend).inc()
+            obs.counter("kernels_segments_total", backend=backend).inc(n_seg)
+            obs.counter("kernels_positions_total",
+                        backend=backend).inc(stats["positions"])
+            obs.counter("kernels_collapses_total",
+                        backend=backend).inc(stats["collapses"])
+            obs.counter("kernels_native_positions_total").inc(
+                stats["native_positions"])
+            obs.counter("kernels_native_stride_checks_total").inc(
+                stats["stride_checks"])
+            obs.counter("kernels_native_degraded_segments_total").inc(
+                stats["degraded_segments"])
+            obs.counter("kernels_native_scalar_positions_total").inc(
+                stats["scalar_positions"])
         return [SegmentFunction(list(outcomes), labels) for outcomes in grid]
     if backend == "dense":
         grid, stats = run_segments_dense(

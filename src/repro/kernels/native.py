@@ -1,0 +1,501 @@
+"""Compiled native set-flow tier: the dense kernel as one C call.
+
+The dense kernel already pays just one offset-add + flat gather per
+symbol position, but each position is still a Python-level dispatch with
+numpy's full-generality machinery behind it.  This module loads
+``_native.c`` — a dependency-free C library (no ``Python.h``, no numpy
+headers) — through :mod:`ctypes` and advances **every** segment's dense
+enumeration frontier over its **whole** symbol buffer in a single native
+call: fused offset-add + gather at the narrowed table dtype, in-loop
+strided collapse checks (the same adaptive-K ladder as ``dense.py`` —
+stride only moves *when* degradation is noticed, never the outcome), a C
+scalar walk for fully-collapsed segments, and early exit per segment.
+
+Availability is best-effort and never load-bearing:
+
+- ``REPRO_NATIVE=0`` disables the tier outright (CI pins the fallback
+  path with it);
+- the library is found next to this module (wheel/sdist builds via
+  ``setup.py``), then in a per-user cache keyed by the source digest,
+  then lazily compiled with ``cc``/``gcc``/``clang`` if a toolchain is
+  present — all failures are memoized into
+  :func:`native_unavailable_reason` and every caller degrades to the
+  dense kernel.
+
+Outcomes are bit-identical to every other backend: the C core returns
+raw final frontiers and this module reuses ``dense.py``'s epilogue
+(per-CS ``np.unique``) verbatim.  ``repro check`` certifies the
+compiled library reads the exact table bytes the Python tier built
+(K114/K115); ``benchmarks/bench_native.py`` gates the speedup
+(native >= 3x dense on the 64-state/1 MB/16-segment acceptance config).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.automata.dfa import Dfa, as_symbols
+from repro.core.partition import StatePartition
+from repro.core.transition import CsOutcome
+from repro.kernels.dense import DenseTables
+
+__all__ = [
+    "NATIVE_ABI",
+    "NativeBuildError",
+    "build_native",
+    "load_native",
+    "native_available",
+    "native_build_info",
+    "native_library_path",
+    "native_table_view",
+    "native_unavailable_reason",
+    "reset_native",
+    "run_segments_native",
+]
+
+#: expected ``cse_native_abi()`` of a loadable library
+NATIVE_ABI = 1
+#: set to ``0``/``off``/``false`` to disable the native tier entirely
+ENV_DISABLE = "REPRO_NATIVE"
+#: overrides the per-user build cache directory
+ENV_CACHE_DIR = "REPRO_NATIVE_CACHE"
+#: compilers probed (after ``$CC``) for the lazy on-demand build
+COMPILERS = ("cc", "gcc", "clang")
+
+_SOURCE = Path(__file__).with_name("_native.c")
+#: table dtype -> C kind tag (must match KIND_* in _native.c)
+_TABLE_KINDS: Dict[str, int] = {"uint8": 0, "uint16": 1, "int64": 2}
+#: stats_out slot layout (must match STAT_* in _native.c)
+_STAT_SLOTS = 4
+_STAT_NATIVE_POSITIONS = 0
+_STAT_STRIDE_CHECKS = 1
+_STAT_DEGRADED = 2
+_STAT_SCALAR_POSITIONS = 3
+
+
+class NativeBuildError(RuntimeError):
+    """The optional native library could not be compiled."""
+
+
+# memoized load outcome: (library or None, unavailability reason, path)
+_state: Optional[
+    Tuple[Optional[ctypes.CDLL], Optional[str], Optional[Path]]
+] = None
+
+
+def _compiler() -> Optional[str]:
+    """First usable C compiler: ``$CC``, then cc/gcc/clang on PATH."""
+    env_cc = os.environ.get("CC", "").strip()
+    for cand in (env_cc, *COMPILERS):
+        if cand and shutil.which(cand.split()[0]):
+            return cand
+    return None
+
+
+def source_digest() -> str:
+    """Content digest of the C source + ABI + platform (cache key)."""
+    h = hashlib.sha256()
+    h.update(_SOURCE.read_bytes())
+    h.update(
+        f"|abi={NATIVE_ABI}|{platform.system()}|{platform.machine()}".encode()
+    )
+    return h.hexdigest()[:16]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-native"
+
+
+def _library_name() -> str:
+    return f"_native_cse-{source_digest()}.so"
+
+
+def build_native(
+    output: Optional[Path] = None, compiler: Optional[str] = None
+) -> Path:
+    """Compile ``_native.c`` into a shared library; returns its path.
+
+    Raises :class:`NativeBuildError` when no toolchain is available or
+    the compile fails — callers that must not fail (``setup.py``, the
+    lazy loader) catch it and continue pure-python.
+    """
+    cc = compiler or _compiler()
+    if cc is None:
+        raise NativeBuildError(
+            f"no C compiler found ($CC, {', '.join(COMPILERS)})"
+        )
+    out = output or _cache_dir() / _library_name()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        suffix=".so", prefix="_native_cse.", dir=str(out.parent)
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    cmd = [
+        *cc.split(), "-O3", "-std=c99", "-fPIC", "-shared",
+        "-o", str(tmp), str(_SOURCE),
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120, check=False
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        tmp.unlink(missing_ok=True)
+        raise NativeBuildError(f"compile invocation failed: {exc}") from exc
+    if proc.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        detail = (proc.stderr or proc.stdout or "").strip()[-400:]
+        raise NativeBuildError(
+            f"{cc} exited {proc.returncode}: {detail or 'no output'}"
+        )
+    # atomic publish: concurrent builders race benignly to the same digest
+    os.replace(tmp, out)
+    return out
+
+
+def _configure(lib: ctypes.CDLL) -> None:
+    c_i64 = ctypes.c_int64
+    c_ptr = ctypes.c_void_p
+    lib.cse_native_abi.restype = c_i64
+    lib.cse_native_abi.argtypes = []
+    lib.cse_native_scan.restype = c_i64
+    lib.cse_native_scan.argtypes = [
+        c_ptr, c_i64, c_i64,          # table, kind, n_states
+        c_ptr, c_ptr, c_i64,          # syms, seg_starts, n_seg
+        c_ptr, c_i64,                 # init, width
+        c_ptr, c_ptr, c_i64, c_i64,   # cs_starts, cs_sizes, n_blocks, stride
+        c_ptr, c_ptr, c_ptr,          # final_out, collapsed_out, stats_out
+        c_ptr, c_ptr,                 # frontier_scratch, seen_scratch
+    ]
+    lib.cse_native_table_view.restype = c_i64
+    lib.cse_native_table_view.argtypes = [c_ptr, c_i64, c_i64, c_ptr]
+
+
+def _try_load(path: Path) -> Tuple[Optional[ctypes.CDLL], Optional[str]]:
+    try:
+        lib = ctypes.CDLL(str(path))
+    except OSError as exc:
+        return None, f"dlopen({path.name}) failed: {exc}"
+    if not hasattr(lib, "cse_native_abi"):
+        return None, f"{path.name} lacks cse_native_abi"
+    lib.cse_native_abi.restype = ctypes.c_int64
+    lib.cse_native_abi.argtypes = []
+    abi = int(lib.cse_native_abi())
+    if abi != NATIVE_ABI:
+        return None, f"{path.name} has ABI {abi}, expected {NATIVE_ABI}"
+    _configure(lib)
+    return lib, None
+
+
+def _disabled_reason() -> Optional[str]:
+    raw = os.environ.get(ENV_DISABLE, "").strip().lower()
+    if raw in ("0", "off", "no", "false"):
+        return f"disabled via {ENV_DISABLE}={raw}"
+    return None
+
+
+def _load() -> Tuple[Optional[ctypes.CDLL], Optional[str], Optional[Path]]:
+    disabled = _disabled_reason()
+    if disabled is not None:
+        return None, disabled, None
+    if not _SOURCE.is_file():
+        return None, "_native.c missing from the package", None
+    # prebuilt (setup.py drops the library next to the module), then the
+    # per-user cache, then a lazy on-demand build
+    candidates = sorted(_SOURCE.parent.glob("_native_cse*.so"))
+    cached = _cache_dir() / _library_name()
+    if cached.is_file():
+        candidates.append(cached)
+    last_err: Optional[str] = None
+    for cand in candidates:
+        lib, err = _try_load(cand)
+        if lib is not None:
+            return lib, None, cand
+        last_err = err
+    try:
+        built = build_native()
+    except NativeBuildError as exc:
+        reason = str(exc) if last_err is None else f"{last_err}; {exc}"
+        return None, reason, None
+    lib, err = _try_load(built)
+    if lib is not None:
+        return lib, None, built
+    return None, err, None
+
+
+def load_native(refresh: bool = False) -> Optional[ctypes.CDLL]:
+    """The loaded library, or ``None`` (reason memoized) when absent."""
+    global _state
+    if _state is None or refresh:
+        _state = _load()
+    return _state[0]
+
+
+def reset_native() -> None:
+    """Forget the memoized load outcome (tests flip env vars)."""
+    global _state
+    _state = None
+
+
+def native_available() -> bool:
+    """True when the compiled tier is loadable right now."""
+    return load_native() is not None
+
+
+def native_unavailable_reason() -> Optional[str]:
+    """Why the native tier is off (``None`` when it is available)."""
+    load_native()
+    assert _state is not None
+    return _state[1]
+
+
+def native_library_path() -> Optional[Path]:
+    """Path of the loaded library (``None`` when unavailable)."""
+    load_native()
+    assert _state is not None
+    return _state[2]
+
+
+def _compiler_version(cc: str) -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            [*cc.split(), "--version"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    first = (proc.stdout or proc.stderr or "").strip().splitlines()
+    return first[0][:120] if first else None
+
+
+def native_build_info() -> Dict[str, object]:
+    """Provenance of the compiled tier (stamped into BENCH_*.json)."""
+    lib = load_native()
+    assert _state is not None
+    info: Dict[str, object] = {
+        "available": lib is not None,
+        "abi": NATIVE_ABI,
+        "source_digest": source_digest() if _SOURCE.is_file() else None,
+    }
+    if lib is None:
+        info["reason"] = _state[1]
+    else:
+        info["library"] = str(_state[2])
+    cc = _compiler()
+    info["compiler"] = cc
+    if cc is not None:
+        info["compiler_version"] = _compiler_version(cc)
+    return info
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+def native_table_view(tables: DenseTables) -> np.ndarray:
+    """The table exactly as the C library reads it, widened to int64.
+
+    ``repro check`` compares this against the dense tables (K114): a
+    mismatch means the compiled library and the Python tier disagree on
+    the transition bytes and the native backend must not be trusted.
+    """
+    lib = load_native()
+    if lib is None:
+        raise RuntimeError(
+            f"native tier unavailable: {native_unavailable_reason()}"
+        )
+    kind = _TABLE_KINDS.get(str(tables.table.dtype))
+    if kind is None:
+        raise ValueError(f"unsupported table dtype {tables.table.dtype}")
+    table = np.ascontiguousarray(tables.table, dtype=tables.table.dtype)
+    out = np.empty(int(table.size), dtype=np.int64)
+    rc = int(lib.cse_native_table_view(
+        _ptr(table), kind, int(table.size), _ptr(out)
+    ))
+    if rc != 0:
+        raise RuntimeError(f"native table view rejected kind {kind}")
+    return out
+
+
+def _delegate_stats(dense_stats: Dict[str, int]) -> Dict[str, int]:
+    """Map dense-kernel stats onto the native stat vocabulary."""
+    return {
+        "positions": dense_stats["positions"],
+        "native_positions": 0,
+        "stride_checks": dense_stats["stride_checks"],
+        "degraded_segments": dense_stats["degraded_segments"],
+        "scalar_positions": 0,
+        "collapses": dense_stats["collapses"],
+    }
+
+
+def run_segments_native(
+    dfa: Dfa,
+    partition: StatePartition,
+    segments: Sequence[np.ndarray],
+    tables: Optional[DenseTables] = None,
+    stride: Optional[int] = None,
+) -> Tuple[List[List[CsOutcome]], Dict[str, int]]:
+    """Execute every segment's dense frontier in one compiled call.
+
+    Same contract and bit-identical outcomes as
+    :func:`repro.kernels.dense.run_segments_dense`; ``stats`` carries the
+    native tier's own telemetry (``native_positions``, ``stride_checks``,
+    ``degraded_segments``, ``scalar_positions``, ``collapses``).  Inputs
+    the C core cannot take verbatim (an unsupported table dtype, or
+    out-of-range symbols that dense's clipped gather would absorb)
+    delegate to the dense kernel — never a crash, never a different
+    answer.
+    """
+    from repro.kernels.dense import run_segments_dense
+
+    lib = load_native()
+    if lib is None:
+        raise RuntimeError(
+            f"native tier unavailable: {native_unavailable_reason()}"
+        )
+    if stride is not None and int(stride) < 1:
+        raise ValueError("stride must be >= 1")
+    tables = tables or DenseTables(dfa)
+    kind = _TABLE_KINDS.get(str(tables.table.dtype))
+    if kind is None:
+        grid, dstats = run_segments_dense(
+            dfa, partition, segments, tables=tables, stride=stride
+        )
+        return grid, _delegate_stats(dstats)
+    n_seg = len(segments)
+    blocks = partition.block_arrays()
+    n_blocks = len(blocks)
+    sizes = np.ascontiguousarray(
+        [b.size for b in blocks], dtype=np.int64
+    )
+    multi_count = int((sizes > 1).sum())
+    if n_seg == 0:
+        return [], {
+            "positions": 0, "native_positions": 0, "stride_checks": 0,
+            "degraded_segments": 0, "scalar_positions": 0, "collapses": 0,
+        }
+    segs = [
+        np.ascontiguousarray(as_symbols(s), dtype=np.int64) for s in segments
+    ]
+    lengths = np.asarray([int(s.size) for s in segs], dtype=np.int64)
+    seg_starts = np.zeros(n_seg + 1, dtype=np.int64)
+    np.cumsum(lengths, out=seg_starts[1:])
+    syms = (
+        np.concatenate(segs) if int(seg_starts[-1]) else
+        np.empty(0, dtype=np.int64)
+    )
+    if syms.size and (
+        int(syms.min()) < 0 or int(syms.max()) >= dfa.alphabet_size
+    ):
+        # dense's clipped gather tolerates out-of-range symbols; the C
+        # gather must not — delegate rather than OOB-read
+        grid, dstats = run_segments_dense(
+            dfa, partition, segments, tables=tables, stride=stride
+        )
+        return grid, _delegate_stats(dstats)
+
+    # frontier lanes grouped by convergence set, same layout as dense.py
+    perm = (
+        np.concatenate(blocks).astype(np.int64) if n_blocks else
+        np.empty(0, dtype=np.int64)
+    )
+    width = int(perm.size)
+    cs_starts = np.zeros(n_blocks, dtype=np.int64)
+    if n_blocks > 1:
+        np.cumsum(sizes[:-1], out=cs_starts[1:])
+    cs_ends = cs_starts + sizes
+
+    table = np.ascontiguousarray(tables.table, dtype=tables.table.dtype)
+    final_out = np.empty((n_seg, max(width, 1)), dtype=np.int64)
+    collapsed_out = np.empty(n_seg, dtype=np.int64)
+    stats_out = np.zeros(_STAT_SLOTS, dtype=np.int64)
+    frontier_scratch = np.empty(max(width, 1), dtype=np.int64)
+    seen_scratch = np.empty(max(n_blocks, 1), dtype=np.uint8)
+    rc = int(lib.cse_native_scan(
+        _ptr(table), kind, int(tables.num_states),
+        _ptr(syms), _ptr(seg_starts), n_seg,
+        _ptr(perm), width,
+        _ptr(cs_starts), _ptr(sizes),
+        n_blocks, 0 if stride is None else int(stride),
+        _ptr(final_out), _ptr(collapsed_out), _ptr(stats_out),
+        _ptr(frontier_scratch), _ptr(seen_scratch),
+    ))
+    if rc != 0:
+        raise RuntimeError(f"native scan rejected table kind {kind}")
+
+    # epilogue identical to dense.py: outcomes derive from the final
+    # frontier (or the collapsed scalar), so stride placement and the C
+    # realization cannot change them
+    n_collapsed = 0
+    grid: List[List[CsOutcome]] = []
+    for seg_i in range(n_seg):
+        scalar = int(collapsed_out[seg_i])
+        if scalar >= 0:
+            states = np.asarray([scalar], dtype=np.int64)
+            grid.append([CsOutcome(True, scalar, states)] * n_blocks)
+            n_collapsed += multi_count
+            continue
+        fr = final_out[seg_i]
+        outcomes: List[CsOutcome] = []
+        for b in range(n_blocks):
+            uniq = np.unique(fr[int(cs_starts[b]):int(cs_ends[b])])
+            if uniq.size == 1:
+                outcomes.append(CsOutcome(True, int(uniq[0]), uniq))
+                if int(sizes[b]) > 1:
+                    n_collapsed += 1
+            else:
+                outcomes.append(CsOutcome(False, None, uniq))
+        grid.append(outcomes)
+
+    stats = {
+        "positions": int(lengths.max()) if n_seg else 0,
+        "native_positions": int(stats_out[_STAT_NATIVE_POSITIONS]),
+        "stride_checks": int(stats_out[_STAT_STRIDE_CHECKS]),
+        "degraded_segments": int(stats_out[_STAT_DEGRADED]),
+        "scalar_positions": int(stats_out[_STAT_SCALAR_POSITIONS]),
+        "collapses": n_collapsed,
+    }
+    return grid, stats
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.kernels.native [--rebuild]``: build + report."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="build/inspect the optional native set-flow library"
+    )
+    parser.add_argument(
+        "--rebuild", action="store_true",
+        help="force a fresh compile into the cache directory",
+    )
+    args = parser.parse_args(argv)
+    if args.rebuild:
+        try:
+            path = build_native()
+            print(f"built {path}", file=sys.stderr)
+            reset_native()
+        except NativeBuildError as exc:
+            print(f"build failed: {exc}", file=sys.stderr)
+    print(json.dumps(native_build_info(), indent=2, sort_keys=True))
+    return 0 if native_available() else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    raise SystemExit(_main())

@@ -407,9 +407,16 @@ def run_segments_prefilter(
         n_collapsed += multi_count
 
     if fallback_idx:
+        # unproven segments take the strongest full-frontier kernel
+        # available: the compiled native tier when its library loads,
+        # else the dense kernel (identical outcomes either way)
         from repro.kernels.dense import run_segments_dense
+        from repro.kernels.native import native_available, run_segments_native
 
-        sub_grid, sub_stats = run_segments_dense(
+        run_fallback = (
+            run_segments_native if native_available() else run_segments_dense
+        )
+        sub_grid, sub_stats = run_fallback(
             dfa,
             partition,
             [segments[i] for i in fallback_idx],

@@ -195,6 +195,16 @@ def render_top(
                 f"  resolve {requested}->{backend:<10} x{count:<6} ({reason})"
             )
 
+    native_pos = _value(now, "kernels_native_positions_total")
+    native_fb = _value(now, "kernels_native_fallbacks_total")
+    if native_pos or native_fb:
+        lines.append(
+            "native        "
+            f"frontier {_fmt_rate(rate('kernels_native_positions_total'))}pos/s  "
+            f"scalar {_fmt_rate(rate('kernels_native_scalar_positions_total'))}pos/s  "
+            f"fallbacks {native_fb:.0f}"
+        )
+
     pf_skipped = _value(now, "kernels_prefilter_skipped_bytes_total")
     if pf_skipped:
         lines.append(

@@ -29,6 +29,9 @@ Three execution backends are available (``backend=``):
   and advances it with exactly one flat gather per symbol position
   (dtype-narrowed table, strided collapse checks); the small-N fast path
   (:mod:`repro.kernels.dense`).
+- ``"native"`` — the compiled set-flow tier: the dense frontier advanced
+  over the whole symbol buffer in one C call (:mod:`repro.kernels.native`);
+  degrades to ``"dense"`` when no compiled library is loadable.
 - ``"prefilter"`` — the literal-prefilter fast path for certified
   literal-heavy machines: a vectorized anchor sweep plus an interpreted
   walk of only the tail after the last proven reset run
@@ -73,6 +76,7 @@ from repro.ingest import InputView, byte_view
 from repro.kernels import (
     BACKENDS,
     certify_prefilter,
+    native_available,
     prefilter_scan_scalar,
     resolve_backend,
     run_segments_batch,
@@ -555,7 +559,7 @@ def _software_cse_scan(
             # resolve_backend auto path never lands here — it only picks
             # prefilter when certification succeeded)
             obs.counter("kernels_prefilter_fallbacks_total").inc()
-            backend = "dense"
+            backend = "native" if native_available() else "dense"
     if backend == "prefilter":
         # keep byte-width input at byte width: the anchor sweep reads the
         # uint8 view directly, skipped bytes are never widened to int64
@@ -677,7 +681,7 @@ def _software_cse_scan(
             flat=compiled.flat_table if compiled is not None else None,
             dense=(
                 compiled.dense_tables()
-                if compiled is not None and backend == "dense"
+                if compiled is not None and backend in ("dense", "native")
                 else None
             ),
             prefilter=pf_tables,

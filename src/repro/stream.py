@@ -67,9 +67,11 @@ class StreamScanner:
         resolves through :func:`repro.kernels.resolve_backend` (the same
         partition-friendly-profile helper :class:`FleetScanner` uses);
         ``"python"`` forces the plain table walk, and the vectorized
-        kernels (``"lockstep"``/``"bitset"``/``"dense"``/``"prefilter"``)
-        are accepted by name — a ``"prefilter"`` request on a machine
-        that fails literal certification degrades to ``"dense"``.
+        kernels (``"lockstep"``/``"bitset"``/``"dense"``/``"native"``/
+        ``"prefilter"``) are accepted by name — a ``"prefilter"``
+        request on a machine that fails literal certification degrades
+        to ``"dense"``, and ``"native"`` degrades the same way on a
+        host where the compiled library does not load.
     partition:
         Convergence partition for the kernel path; defaults to the
         trivial single-set partition.

@@ -249,8 +249,15 @@ class TestStackSegments:
 
 class TestResolveBackend:
     def test_explicit_passthrough(self, random_dfa_8):
+        from repro.kernels import native_available
+
         for backend in BACKENDS:
-            assert resolve_backend(random_dfa_8, backend) == backend
+            expected = backend
+            if backend == "native" and not native_available():
+                # the compiled tier is optional: an explicit request on a
+                # toolchain-less host degrades to the dense kernel
+                expected = "dense"
+            assert resolve_backend(random_dfa_8, backend) == expected
 
     def test_unknown_rejected(self, random_dfa_8):
         with pytest.raises(ValueError):
@@ -268,9 +275,12 @@ class TestResolveBackend:
         assert resolve_backend(dfa, "auto", None, 16) == "python"
 
     def test_wide_sets_pick_dense_below_crossover(self, rng):
+        from repro.kernels import native_available
+
         dfa = random_dfa(64, 8, rng)
         partition = StatePartition.from_labels([i % 2 for i in range(64)])
-        assert resolve_backend(dfa, None, partition, 16) == "dense"
+        expected = "native" if native_available() else "dense"
+        assert resolve_backend(dfa, None, partition, 16) == expected
 
     def test_wide_sets_pick_lockstep_above_crossover(self, rng):
         from repro.kernels import DENSE_MAX_STATES
@@ -281,9 +291,12 @@ class TestResolveBackend:
         assert resolve_backend(dfa, None, partition, 16) == "lockstep"
 
     def test_many_flows_pick_dense(self, rng):
+        from repro.kernels import native_available
+
         dfa = random_dfa(16, 4, rng)
         partition = StatePartition.discrete(16)
-        assert resolve_backend(dfa, None, partition, 16) == "dense"
+        expected = "native" if native_available() else "dense"
+        assert resolve_backend(dfa, None, partition, 16) == expected
 
     def test_tiny_workload_stays_python(self, random_dfa_8):
         partition = StatePartition.from_labels([0, 0, 1, 1, 2, 2, 3, 3])

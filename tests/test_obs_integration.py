@@ -234,7 +234,9 @@ class TestBackendRecording:
         run = software_cse_scan(dfa, word, partition, n_segments=8,
                                 backend="auto")
         assert run.requested_backend == "auto"
-        assert run.backend in ("python", "lockstep", "dense", "prefilter")
+        assert run.backend in (
+            "python", "lockstep", "dense", "native", "prefilter"
+        )
 
     def test_explicit_backend_passthrough(self, dfa, word):
         partition = StatePartition.trivial(dfa.num_states)

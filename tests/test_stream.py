@@ -139,7 +139,9 @@ class TestStreamScannerBackends:
             reference.feed(data[i:i + 700])
             scanner.feed(data[i:i + 700])
         assert scanner.finish() == reference.finish()
-        assert scanner.backend in ("python", "lockstep", "bitset", "dense", "prefilter")
+        assert scanner.backend in (
+            "python", "lockstep", "bitset", "dense", "native", "prefilter"
+        )
 
     def test_resolved_via_shared_helper(self, dfa):
         from repro.kernels import resolve_backend
